@@ -1,0 +1,99 @@
+//! Criterion benches for the single-domain scheduler substrate: allocator
+//! operations and scheduling-iteration cost as queue depth grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosched_sched::alloc::{BuddyAllocator, FlatAllocator};
+use cosched_sched::{Machine, MachineConfig, NodeAllocator, PolicyKind};
+use cosched_sim::{SimDuration, SimTime};
+use cosched_workload::{Job, JobId, MachineId};
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group.bench_function("flat_cycle_1k", |b| {
+        b.iter(|| {
+            let mut a = FlatAllocator::new(40_960);
+            let mut handles = Vec::with_capacity(64);
+            for i in 0..1_000u64 {
+                if handles.len() < 48 {
+                    if let Some(h) = a.alloc(512 + (i % 7) * 128) {
+                        handles.push(h);
+                    }
+                } else {
+                    let k = (i as usize * 13) % handles.len();
+                    a.release(handles.remove(k));
+                }
+            }
+            black_box(a.free_nodes())
+        })
+    });
+    group.bench_function("buddy_cycle_1k", |b| {
+        b.iter(|| {
+            let mut a = BuddyAllocator::new(40_960, 512);
+            let mut handles = Vec::with_capacity(64);
+            for i in 0..1_000u64 {
+                if handles.len() < 48 {
+                    if let Some(h) = a.alloc(512 << (i % 5)) {
+                        handles.push(h);
+                    }
+                } else {
+                    let k = (i as usize * 13) % handles.len();
+                    a.release(handles.remove(k));
+                }
+            }
+            black_box(a.free_nodes())
+        })
+    });
+    group.finish();
+}
+
+fn queue_machine(depth: usize, policy: PolicyKind) -> Machine {
+    let mut cfg = MachineConfig::flat("bench", MachineId(0), 100_000);
+    cfg.policy = policy;
+    let mut m = Machine::new(cfg);
+    for i in 0..depth as u64 {
+        m.submit(
+            Job::new(
+                JobId(i),
+                MachineId(0),
+                SimTime::from_secs(i),
+                64,
+                SimDuration::from_secs(3_600),
+                SimDuration::from_secs(7_200),
+            ),
+            SimTime::from_secs(i),
+        );
+    }
+    m
+}
+
+fn bench_iteration_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_iteration");
+    for &depth in &[100usize, 1_000] {
+        for policy in [PolicyKind::Fcfs, PolicyKind::Wfp] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || queue_machine(depth, policy),
+                        |mut m| {
+                            let now = SimTime::from_secs(depth as u64 + 10);
+                            m.begin_iteration();
+                            // Full drain: every pick re-sorts the queue, the
+                            // dominant cost of a scheduling iteration.
+                            while let Some(cand) = m.pick_next(now) {
+                                let _ = m.start(cand, now);
+                            }
+                            black_box(m.running_jobs().len())
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_iteration_cost);
+criterion_main!(benches);

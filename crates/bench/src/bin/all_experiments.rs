@@ -1,0 +1,80 @@
+//! Run every experiment of the paper's evaluation section and print all
+//! figure tables (Figs. 3–10 plus the §V-B validation). Writing the output
+//! to EXPERIMENTS.md documents a full reproduction pass:
+//!
+//! ```text
+//! COSCHED_SCALE=full cargo run --release -p cosched-bench --bin all_experiments
+//! ```
+use cosched_bench::{figures, harness, Scale};
+use cosched_core::{CoupledSimulation, SchemeCombo};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running all experiments at {scale:?} (set COSCHED_SCALE=full for paper scale)…");
+    let t0 = std::time::Instant::now();
+
+    let load = harness::load_sweep(scale);
+    eprintln!("load sweep done in {:?}", t0.elapsed());
+    let prop = harness::prop_sweep(scale);
+    eprintln!("both sweeps done in {:?}", t0.elapsed());
+
+    let lp = figures::load_points(&load);
+    let pp = figures::prop_points(&prop);
+
+    println!("# Reproduction run — all experiments");
+    println!();
+    println!("Scale: {} days per trace, {} seeds per case.", scale.days, scale.seeds);
+    println!();
+    print!("{}", figures::validation_table(&lp, "Validation — load sweep"));
+    println!();
+    print!("{}", figures::validation_table(&pp, "Validation — proportion sweep"));
+    println!();
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_wait(&lp, m, &format!("Fig. 3({}) {name} avg wait by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_slowdown(&lp, m, &format!("Fig. 4({}) {name} avg slowdown by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_sync(&lp, m, &format!("Fig. 5({}) {name} avg job sync time by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_loss(&lp, m, &format!("Fig. 6({}) {name} service-unit loss by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_wait(&pp, m, &format!("Fig. 7({}) {name} avg wait by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_slowdown(&pp, m, &format!("Fig. 8({}) {name} avg slowdown by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_sync(&pp, m, &format!("Fig. 9({}) {name} avg job sync time by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+    for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
+        print!("{}", figures::fig_loss(&pp, m, &format!("Fig. 10({}) {name} service-unit loss by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        println!();
+    }
+
+    // Deadlock demonstration (§V-B).
+    let cfg = harness::anl_with(SchemeCombo::HH, |c| c.release_period = None);
+    let without = CoupledSimulation::new(cfg, harness::anl_load_traces(1, scale.days, 0.50)).run();
+    let with = CoupledSimulation::new(
+        cosched_core::CoupledConfig::anl(SchemeCombo::HH),
+        harness::anl_load_traces(1, scale.days, 0.50),
+    )
+    .run();
+    println!("## Deadlock (§V-B)");
+    println!();
+    println!("| configuration | deadlocked | unfinished jobs |");
+    println!("|---------------|------------|-----------------|");
+    println!("| HH, release enhancement off | {} | {:?} |", without.deadlocked, without.unfinished);
+    println!("| HH, 20-minute release       | {} | {:?} |", with.deadlocked, with.unfinished);
+    eprintln!("total {:?}", t0.elapsed());
+}

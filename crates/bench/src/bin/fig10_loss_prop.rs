@@ -1,0 +1,12 @@
+//! Fig. 10 — service-unit loss by paired-job proportion, for local-hold
+//! configurations.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running proportion sweep at {scale:?}…");
+    let sweep = harness::prop_sweep(scale);
+    let pts = figures::prop_points(&sweep);
+    print!("{}", figures::fig_loss(&pts, 0, "Fig. 10(a) Intrepid loss of service unit (proportion/remote scheme)"));
+    print!("{}", figures::fig_loss(&pts, 1, "Fig. 10(b) Eureka loss of service unit (proportion/remote scheme)"));
+}

@@ -1,0 +1,12 @@
+//! Fig. 3 — average waiting time by Eureka system load (a: Intrepid,
+//! b: Eureka), per scheme combination, with the no-coscheduling baseline.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running load sweep at {scale:?}…");
+    let sweep = harness::load_sweep(scale);
+    let pts = figures::load_points(&sweep);
+    print!("{}", figures::fig_wait(&pts, 0, "Fig. 3(a) Intrepid avg wait by Eureka sys. util."));
+    print!("{}", figures::fig_wait(&pts, 1, "Fig. 3(b) Eureka avg wait by Eureka sys. util."));
+}

@@ -1,0 +1,12 @@
+//! Fig. 4 — average slowdown by Eureka system load (a: Intrepid,
+//! b: Eureka), per scheme combination, with the no-coscheduling baseline.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running load sweep at {scale:?}…");
+    let sweep = harness::load_sweep(scale);
+    let pts = figures::load_points(&sweep);
+    print!("{}", figures::fig_slowdown(&pts, 0, "Fig. 4(a) Intrepid avg slowdown by Eureka sys. util."));
+    print!("{}", figures::fig_slowdown(&pts, 1, "Fig. 4(b) Eureka avg slowdown by Eureka sys. util."));
+}

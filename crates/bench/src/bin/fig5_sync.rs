@@ -1,0 +1,12 @@
+//! Fig. 5 — average paired-job synchronization time by Eureka system load,
+//! grouped by remote scheme, local hold vs yield.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running load sweep at {scale:?}…");
+    let sweep = harness::load_sweep(scale);
+    let pts = figures::load_points(&sweep);
+    print!("{}", figures::fig_sync(&pts, 0, "Fig. 5(a) Intrepid avg job sync time (util/remote scheme)"));
+    print!("{}", figures::fig_sync(&pts, 1, "Fig. 5(b) Eureka avg job sync time (util/remote scheme)"));
+}

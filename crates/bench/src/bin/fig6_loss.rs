@@ -1,0 +1,12 @@
+//! Fig. 6 — service-unit loss (node-hours, lost utilization rate) by Eureka
+//! system load, for local-hold configurations.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running load sweep at {scale:?}…");
+    let sweep = harness::load_sweep(scale);
+    let pts = figures::load_points(&sweep);
+    print!("{}", figures::fig_loss(&pts, 0, "Fig. 6(a) Intrepid loss of service unit (util/remote scheme)"));
+    print!("{}", figures::fig_loss(&pts, 1, "Fig. 6(b) Eureka loss of service unit (util/remote scheme)"));
+}

@@ -1,0 +1,12 @@
+//! Fig. 7 — average waiting time by paired-job proportion (a: Intrepid,
+//! b: Eureka), per scheme combination, with the no-coscheduling baseline.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running proportion sweep at {scale:?}…");
+    let sweep = harness::prop_sweep(scale);
+    let pts = figures::prop_points(&sweep);
+    print!("{}", figures::fig_wait(&pts, 0, "Fig. 7(a) Intrepid avg wait by paired-job proportion"));
+    print!("{}", figures::fig_wait(&pts, 1, "Fig. 7(b) Eureka avg wait by paired-job proportion"));
+}

@@ -1,0 +1,12 @@
+//! Fig. 8 — average slowdown by paired-job proportion (a: Intrepid,
+//! b: Eureka), per scheme combination, with the no-coscheduling baseline.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running proportion sweep at {scale:?}…");
+    let sweep = harness::prop_sweep(scale);
+    let pts = figures::prop_points(&sweep);
+    print!("{}", figures::fig_slowdown(&pts, 0, "Fig. 8(a) Intrepid avg slowdown by paired-job proportion"));
+    print!("{}", figures::fig_slowdown(&pts, 1, "Fig. 8(b) Eureka avg slowdown by paired-job proportion"));
+}

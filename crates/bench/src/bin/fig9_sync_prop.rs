@@ -1,0 +1,12 @@
+//! Fig. 9 — average paired-job synchronization time by paired-job
+//! proportion, grouped by remote scheme, local hold vs yield.
+use cosched_bench::{figures, harness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running proportion sweep at {scale:?}…");
+    let sweep = harness::prop_sweep(scale);
+    let pts = figures::prop_points(&sweep);
+    print!("{}", figures::fig_sync(&pts, 0, "Fig. 9(a) Intrepid avg job sync time (proportion/remote scheme)"));
+    print!("{}", figures::fig_sync(&pts, 1, "Fig. 9(b) Eureka avg job sync time (proportion/remote scheme)"));
+}

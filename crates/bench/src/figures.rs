@@ -1,0 +1,240 @@
+//! Table builders: turn sweep results into the rows/series each paper
+//! figure plots. Shared by the per-figure binaries and `all_experiments`.
+
+use crate::harness::{CaseResult, LoadSweep, PropSweep};
+use cosched_metrics::table::{num, pct, Table};
+use cosched_metrics::MachineSummary;
+
+/// One sweep grid point as consumed by the table builders: the case label
+/// (utilization or proportion), the baseline result, and the per-combination
+/// results with their labels.
+pub type CasePoint<'a> = (String, &'a CaseResult, Vec<(String, &'a CaseResult)>);
+
+fn machine_of(case: &CaseResult, m: usize) -> &MachineSummary {
+    if m == 0 {
+        &case.intrepid
+    } else {
+        &case.eureka
+    }
+}
+
+fn util_label(u: f64) -> String {
+    format!("{u:.2}")
+}
+
+fn prop_label(p: f64) -> String {
+    format!("{}%", num(p * 100.0, 1))
+}
+
+/// Fig. 3 / Fig. 7: average waiting time (minutes) with baseline and
+/// difference, one table per machine.
+pub fn fig_wait(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
+    let mut t = Table::new(title, &["case", "combo", "cosched (min)", "base (min)", "diff (min)"]);
+    for (label, base, combos) in points {
+        for (combo, case) in combos {
+            let c = machine_of(case, m).avg_wait_mins;
+            let b = machine_of(base, m).avg_wait_mins;
+            t.row(&[
+                label.clone(),
+                combo.clone(),
+                num(c, 1),
+                num(b, 1),
+                num(c - b, 1),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 4 / Fig. 8: average slowdown with baseline and difference.
+pub fn fig_slowdown(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
+    let mut t = Table::new(title, &["case", "combo", "cosched", "base", "diff"]);
+    for (label, base, combos) in points {
+        for (combo, case) in combos {
+            let c = machine_of(case, m).avg_slowdown;
+            let b = machine_of(base, m).avg_slowdown;
+            t.row(&[
+                label.clone(),
+                combo.clone(),
+                num(c, 2),
+                num(b, 2),
+                num(c - b, 2),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 5 / Fig. 9: average paired-job synchronization time (minutes),
+/// grouped by case / remote scheme, local hold vs local yield.
+///
+/// For machine `m`, the remote scheme is the other machine's letter; the
+/// local scheme letter selects the bar within the group.
+pub fn fig_sync(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["case / remote scheme", "local hold (min)", "local yield (min)"],
+    );
+    for (label, _base, combos) in points {
+        for remote in ["H", "Y"] {
+            let mut hold = None;
+            let mut yielded = None;
+            for (combo, case) in combos {
+                let local = &combo[m..=m];
+                let rem = &combo[1 - m..=1 - m];
+                if rem != remote {
+                    continue;
+                }
+                let v = machine_of(case, m).avg_sync_mins;
+                match local {
+                    "H" => hold = Some(v),
+                    _ => yielded = Some(v),
+                }
+            }
+            t.row(&[
+                format!("{label}/{remote}"),
+                hold.map_or("-".into(), |v| num(v, 1)),
+                yielded.map_or("-".into(), |v| num(v, 1)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 6 / Fig. 10: service-unit loss (node-hours and lost utilization
+/// rate) for cases where the local machine uses hold.
+pub fn fig_loss(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["case / remote scheme", "node-hours lost", "lost util rate"],
+    );
+    for (label, _base, combos) in points {
+        for remote in ["H", "Y"] {
+            for (combo, case) in combos {
+                let local = &combo[m..=m];
+                let rem = &combo[1 - m..=1 - m];
+                if local != "H" || rem != remote {
+                    continue;
+                }
+                let s = machine_of(case, m);
+                t.row(&[
+                    format!("{label}/{remote}"),
+                    num(s.lost_node_hours, 0),
+                    pct(s.lost_util_rate),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Adapt a [`LoadSweep`] into the generic point shape used by the builders.
+pub fn load_points(sweep: &LoadSweep) -> Vec<CasePoint<'_>> {
+    sweep
+        .points
+        .iter()
+        .map(|(u, base, combos)| {
+            (
+                util_label(*u),
+                base,
+                combos.iter().map(|(c, r)| (c.label(), r)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Adapt a [`PropSweep`] into the generic point shape used by the builders.
+pub fn prop_points(sweep: &PropSweep) -> Vec<CasePoint<'_>> {
+    sweep
+        .points
+        .iter()
+        .map(|(p, base, combos)| {
+            (
+                prop_label(*p),
+                base,
+                combos.iter().map(|(c, r)| (c.label(), r)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Capability-validation table (§V-B): per case, whether all pairs started
+/// simultaneously and whether any deadlock occurred.
+pub fn validation_table(points: &[CasePoint<'_>], title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "case",
+            "combo",
+            "pairs sync'd",
+            "deadlock",
+            "forced releases",
+            "paired share",
+            "anchored/direct/indep",
+        ],
+    );
+    for (label, _base, combos) in points {
+        for (combo, case) in combos {
+            let (a, d, i) = case.rendezvous;
+            t.row(&[
+                label.clone(),
+                combo.clone(),
+                if case.sync_ok { "yes" } else { "NO" }.into(),
+                if case.deadlocked { "YES" } else { "no" }.into(),
+                case.forced_releases.to_string(),
+                pct(case.paired_share),
+                format!("{a}/{d}/{i}"),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_case, Scale};
+    use cosched_core::SchemeCombo;
+
+    type OwnedPoint = (String, CaseResult, Vec<(String, CaseResult)>);
+
+    fn tiny_points() -> Vec<OwnedPoint> {
+        let scale = Scale::smoke();
+        let base = run_case(None, scale, |s| crate::harness::anl_load_traces(s, scale.days, 0.5));
+        let hh = run_case(Some(SchemeCombo::HH), scale, |s| {
+            crate::harness::anl_load_traces(s, scale.days, 0.5)
+        });
+        let yy = run_case(Some(SchemeCombo::YY), scale, |s| {
+            crate::harness::anl_load_traces(s, scale.days, 0.5)
+        });
+        vec![(
+            "0.50".to_string(),
+            base,
+            vec![("HH".to_string(), hh), ("YY".to_string(), yy)],
+        )]
+    }
+
+    fn as_refs(pts: &[OwnedPoint]) -> Vec<CasePoint<'_>> {
+        pts.iter()
+            .map(|(l, b, cs)| {
+                (l.clone(), b, cs.iter().map(|(c, r)| (c.clone(), r)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tables_render_with_expected_rows() {
+        let pts = tiny_points();
+        let refs = as_refs(&pts);
+        let wait = fig_wait(&refs, 0, "wait");
+        assert_eq!(wait.len(), 2); // 2 combos × 1 point
+        let slow = fig_slowdown(&refs, 1, "slowdown");
+        assert_eq!(slow.len(), 2);
+        let sync = fig_sync(&refs, 0, "sync");
+        assert_eq!(sync.len(), 2); // remote H and remote Y rows
+        let loss = fig_loss(&refs, 0, "loss");
+        assert_eq!(loss.len(), 1); // only HH has local-hold on machine 0 here
+        let val = validation_table(&refs, "validation");
+        assert!(val.render().contains("yes"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harnesses reproducing the paper's evaluation (§V).
+//!
+//! Each figure of the paper has a binary in `src/bin/` that regenerates its
+//! rows/series; they all share the scenario builders and sweep runners in
+//! [`harness`]. Criterion benches (in `benches/`) measure the simulator's
+//! own performance and the cost of design alternatives.
+//!
+//! Scale control: the full paper-scale runs (one month, 10 seeds per case)
+//! take minutes; set `COSCHED_SCALE=full` for them. The default `quick`
+//! scale (10 days, 3 seeds) preserves every qualitative shape the paper
+//! reports while keeping each figure binary under a minute; `smoke` (3
+//! days, 1 seed) is for CI.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{CaseResult, LoadSweep, PropSweep, Scale};

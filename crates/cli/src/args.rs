@@ -1,0 +1,135 @@
+//! Tiny argument parser: `command --key value` pairs plus flags.
+//!
+//! Hand-rolled (the workspace's dependency policy doesn't include a CLI
+//! framework) but strict: unknown keys are errors, not silent no-ops.
+
+use std::collections::BTreeMap;
+
+/// A parsed invocation: the subcommand and its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// First positional token.
+    pub command: String,
+    /// `--key value` pairs, keys without the `--` prefix.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse raw arguments (without the program name).
+///
+/// # Errors
+/// Returns a message when the command is missing, a key lacks a value, or a
+/// positional token appears where a `--key` was expected.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut iter = args.iter();
+    let command = iter
+        .next()
+        .ok_or_else(|| "missing command (try: generate | pair | simulate)".to_string())?
+        .clone();
+    let mut options = BTreeMap::new();
+    while let Some(token) = iter.next() {
+        let key = token
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {token:?}"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("option --{key} needs a value"))?;
+        if options.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("option --{key} given twice"));
+        }
+    }
+    Ok(Parsed { command, options })
+}
+
+impl Parsed {
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value {raw:?}")),
+        }
+    }
+
+    /// Reject options outside the allowed set (typo guard).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown option --{key} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&argv("generate --machine intrepid --days 30")).unwrap();
+        assert_eq!(p.command, "generate");
+        assert_eq!(p.require("machine").unwrap(), "intrepid");
+        assert_eq!(p.get_or::<u64>("days", 0).unwrap(), 30);
+        assert_eq!(p.get_or::<u64>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(parse(&[]).unwrap_err().contains("missing command"));
+    }
+
+    #[test]
+    fn dangling_option_errors() {
+        let err = parse(&argv("simulate --out")).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn positional_after_command_errors() {
+        let err = parse(&argv("simulate foo")).unwrap_err();
+        assert!(err.contains("expected --option"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_option_errors() {
+        let err = parse(&argv("x --a 1 --a 2")).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+    }
+
+    #[test]
+    fn allow_only_flags_unknown_keys() {
+        let p = parse(&argv("x --good 1 --bad 2")).unwrap();
+        let err = p.allow_only(&["good"]).unwrap_err();
+        assert!(err.contains("--bad"), "{err}");
+        assert!(p.allow_only(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn invalid_numeric_value_errors() {
+        let p = parse(&argv("x --days banana")).unwrap();
+        let err = p.get_or::<u64>("days", 1).unwrap_err();
+        assert!(err.contains("invalid value"), "{err}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Command implementations.
+
+use crate::args::Parsed;
+use cosched_core::{CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo};
+use cosched_metrics::table::{num, pct, Table};
+use cosched_sched::MachineConfig;
+use cosched_sim::{SimDuration, SimRng};
+use cosched_workload::{pairing, swf, JobId, MachineId, MachineModel, MateRef, Trace, TraceGenerator};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A pairs file: the association sidecar SWF cannot carry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairsFile {
+    /// `(job id on machine A, job id on machine B)` pairs.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+/// Dispatch a parsed invocation, writing human output to `out`. Returns an
+/// error message for the caller to print to stderr.
+pub fn run_command(parsed: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "generate" => cmd_generate(parsed, out),
+        "pair" => cmd_pair(parsed, out),
+        "simulate" => cmd_simulate(parsed, out),
+        "analyze" => cmd_analyze(parsed, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cosched — coupled-system job coscheduling toolkit
+
+USAGE:
+  cosched generate --machine <intrepid|eureka> --out <trace.swf>
+                   [--days N] [--util U] [--seed S]
+  cosched analyze  --trace <trace.swf> [--capacity N]
+  cosched pair     --a <a.swf> --b <b.swf> --out <pairs.json>
+                   [--window-secs W] [--proportion P] [--seed S]
+  cosched simulate --a <a.swf> --b <b.swf> --pairs <pairs.json>
+                   [--combo <HH|HY|YH|YY|off>] [--capacity-a N] [--capacity-b N]
+                   [--release-mins M] [--json <report.json>]";
+
+fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["machine", "out", "days", "util", "seed"])?;
+    let model = match p.require("machine")? {
+        "intrepid" => MachineModel::intrepid(),
+        "eureka" => MachineModel::eureka(),
+        other => return Err(format!("unknown machine model {other:?} (intrepid|eureka)")),
+    };
+    let out_path = p.require("out")?.to_string();
+    let days: u64 = p.get_or("days", 30)?;
+    let util: f64 = p.get_or("util", 0.5)?;
+    let seed: u64 = p.get_or("seed", 1)?;
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let trace = TraceGenerator::new(model, MachineId(0))
+        .span(SimDuration::from_days(days))
+        .target_utilization(util)
+        .generate(&mut rng);
+    let file = std::fs::File::create(&out_path)
+        .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    swf::write_swf(std::io::BufWriter::new(file), &trace)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "wrote {} jobs ({} days, offered util {:.3}) to {}",
+        trace.len(),
+        days,
+        trace.offered_utilization(trace.max_size().max(1)),
+        out_path
+    );
+    Ok(())
+}
+
+fn cmd_analyze(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["trace", "capacity"])?;
+    let path = p.require("trace")?;
+    let trace = load_trace(path, MachineId(0))?;
+    let stats = cosched_workload::stats::trace_stats(&trace);
+    let _ = write!(out, "{}", cosched_workload::stats::render_stats(path, &stats));
+    if let Some(raw) = p.get("capacity") {
+        let capacity: u64 = raw.parse().map_err(|_| format!("bad --capacity {raw:?}"))?;
+        let _ = writeln!(
+            out,
+            "  offered utilization @ {capacity} nodes: {:.3}",
+            trace.offered_utilization(capacity)
+        );
+        let _ = writeln!(
+            out,
+            "  daily load unevenness: {:.3}",
+            cosched_workload::stats::daily_load_unevenness(&trace)
+        );
+    }
+    Ok(())
+}
+
+fn load_trace(path: &str, machine: MachineId) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (trace, skipped) = swf::read_swf(std::io::BufReader::new(file), machine)
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if skipped > 0 {
+        eprintln!("note: skipped {skipped} unrunnable records in {path}");
+    }
+    Ok(trace)
+}
+
+fn cmd_pair(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["a", "b", "out", "window-secs", "proportion", "seed"])?;
+    let mut a = load_trace(p.require("a")?, MachineId(0))?;
+    let mut b = load_trace(p.require("b")?, MachineId(1))?;
+    let out_path = p.require("out")?.to_string();
+    let window = SimDuration::from_secs(p.get_or("window-secs", 120)?);
+    let n = match p.get("proportion") {
+        Some(raw) => {
+            let proportion: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad --proportion {raw:?}"))?;
+            let mut rng = SimRng::seed_from_u64(p.get_or("seed", 1)?);
+            pairing::pair_exact_proportion(&mut a, &mut b, proportion, window, &mut rng)
+        }
+        None => pairing::pair_by_window(&mut a, &mut b, window),
+    };
+    let pairs = PairsFile {
+        pairs: a
+            .jobs()
+            .iter()
+            .filter_map(|j| j.mate.map(|m| (j.id.0, m.job.0)))
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&pairs).expect("pairs serialize");
+    std::fs::write(&out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = writeln!(out, "associated {n} pairs → {out_path}");
+    Ok(())
+}
+
+/// Apply a pairs file to freshly loaded traces.
+pub fn apply_pairs(a: &mut Trace, b: &mut Trace, pairs: &PairsFile) -> Result<(), String> {
+    for &(ja, jb) in &pairs.pairs {
+        let (ma, mb) = (a.machine(), b.machine());
+        let found_a = a.jobs_mut().iter_mut().find(|j| j.id == JobId(ja));
+        match found_a {
+            Some(j) => j.mate = Some(MateRef { machine: mb, job: JobId(jb) }),
+            None => return Err(format!("pairs file references missing job {ja} in trace A")),
+        }
+        let found_b = b.jobs_mut().iter_mut().find(|j| j.id == JobId(jb));
+        match found_b {
+            Some(j) => j.mate = Some(MateRef { machine: ma, job: JobId(ja) }),
+            None => return Err(format!("pairs file references missing job {jb} in trace B")),
+        }
+    }
+    pairing::validate_pairing(a, b).map_err(|e| format!("invalid pairs file: {e}"))
+}
+
+/// JSON report shape for `simulate --json`.
+#[derive(Debug, Serialize)]
+struct JsonReport {
+    combo: String,
+    deadlocked: bool,
+    pairs_synchronized: bool,
+    max_pair_offset_secs: u64,
+    intrepid_like: cosched_metrics::MachineSummary,
+    eureka_like: cosched_metrics::MachineSummary,
+}
+
+fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&[
+        "a", "b", "pairs", "combo", "capacity-a", "capacity-b", "release-mins", "json",
+    ])?;
+    let mut a = load_trace(p.require("a")?, MachineId(0))?;
+    let mut b = load_trace(p.require("b")?, MachineId(1))?;
+    if let Some(path) = p.get("pairs") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let pairs: PairsFile =
+            serde_json::from_str(&raw).map_err(|e| format!("bad pairs file {path}: {e}"))?;
+        apply_pairs(&mut a, &mut b, &pairs)?;
+    }
+    let combo_raw = p.get("combo").unwrap_or("HY");
+    let combo = match combo_raw {
+        "HH" => Some(SchemeCombo::HH),
+        "HY" => Some(SchemeCombo::HY),
+        "YH" => Some(SchemeCombo::YH),
+        "YY" => Some(SchemeCombo::YY),
+        "off" => None,
+        other => return Err(format!("bad --combo {other:?} (HH|HY|YH|YY|off)")),
+    };
+    let cap_a: u64 = p.get_or("capacity-a", a.max_size().max(1))?;
+    let cap_b: u64 = p.get_or("capacity-b", b.max_size().max(1))?;
+    let release: u64 = p.get_or("release-mins", 20)?;
+
+    let mk_cosched = |scheme| {
+        CoschedConfig::paper(scheme)
+            .with_release_period(Some(SimDuration::from_mins(release)))
+    };
+    let config = CoupledConfig {
+        machines: [
+            MachineConfig::flat("A", MachineId(0), cap_a),
+            MachineConfig::flat("B", MachineId(1), cap_b),
+        ],
+        cosched: match combo {
+            Some(c) => [mk_cosched(c.of(0)), mk_cosched(c.of(1))],
+            None => [CoschedConfig::disabled(), CoschedConfig::disabled()],
+        },
+        max_events: 50_000_000,
+    };
+    let report = CoupledSimulation::new(config, [a, b]).run();
+
+    let mut table = Table::new(
+        format!(
+            "simulate: combo {} over {} + {} jobs",
+            combo.map_or("off".into(), |c| c.label()),
+            report.summaries[0].jobs,
+            report.summaries[1].jobs
+        ),
+        &["machine", "avg wait (min)", "avg slowdown", "avg sync (min)", "util", "loss rate"],
+    );
+    for s in &report.summaries {
+        table.row(&[
+            s.machine.clone(),
+            num(s.avg_wait_mins, 1),
+            num(s.avg_slowdown, 2),
+            num(s.avg_sync_mins, 1),
+            pct(s.utilization),
+            pct(s.lost_util_rate),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+    let _ = writeln!(
+        out,
+        "pairs synchronized: {} (max offset {}); deadlocked: {}",
+        report.all_pairs_synchronized(),
+        report.max_pair_offset(),
+        report.deadlocked
+    );
+    if let Some(path) = p.get("json") {
+        let j = JsonReport {
+            combo: combo.map_or("off".into(), |c| c.label()),
+            deadlocked: report.deadlocked,
+            pairs_synchronized: report.all_pairs_synchronized(),
+            max_pair_offset_secs: report.max_pair_offset().as_secs(),
+            intrepid_like: report.summaries[0].clone(),
+            eureka_like: report.summaries[1].clone(),
+        };
+        std::fs::write(Path::new(path), serde_json::to_string_pretty(&j).expect("serialize"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    Ok(())
+}
+
+/// Helper mapping a scheme letter for error-free config building (used by
+/// tests).
+pub fn scheme_of(letter: char) -> Option<Scheme> {
+    match letter {
+        'H' => Some(Scheme::Hold),
+        'Y' => Some(Scheme::Yield),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn run(cmdline: &str) -> Result<String, String> {
+        let parsed = parse(&argv(cmdline))?;
+        let mut buf = Vec::new();
+        run_command(&parsed, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cosched-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_pair_simulate_pipeline() {
+        let a = tmp("pipe_a.swf");
+        let b = tmp("pipe_b.swf");
+        let pairs = tmp("pipe_pairs.json");
+        let json = tmp("pipe_report.json");
+
+        let out = run(&format!(
+            "generate --machine eureka --out {a} --days 2 --util 0.5 --seed 3"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        run(&format!(
+            "generate --machine eureka --out {b} --days 2 --util 0.4 --seed 4"
+        ))
+        .unwrap();
+
+        let out = run(&format!(
+            "pair --a {a} --b {b} --out {pairs} --proportion 0.2 --seed 5"
+        ))
+        .unwrap();
+        assert!(out.contains("associated"), "{out}");
+
+        let out = run(&format!(
+            "simulate --a {a} --b {b} --pairs {pairs} --combo YY --capacity-a 100 --capacity-b 100 --json {json}"
+        ))
+        .unwrap();
+        assert!(out.contains("pairs synchronized: true"), "{out}");
+        let report: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(report["pairs_synchronized"], serde_json::Value::Bool(true));
+        assert_eq!(report["combo"], "YY");
+    }
+
+    #[test]
+    fn simulate_without_pairs_is_plain_scheduling() {
+        let a = tmp("plain_a.swf");
+        let b = tmp("plain_b.swf");
+        run(&format!("generate --machine eureka --out {a} --days 1 --seed 6")).unwrap();
+        run(&format!("generate --machine eureka --out {b} --days 1 --seed 7")).unwrap();
+        let out = run(&format!(
+            "simulate --a {a} --b {b} --combo off --capacity-a 100 --capacity-b 100"
+        ))
+        .unwrap();
+        assert!(out.contains("deadlocked: false"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run("frobnicate --x 1").unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+        assert!(err.contains("USAGE"), "{err}");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_machine() {
+        let err = run(&format!(
+            "generate --machine cray --out {}",
+            tmp("nope.swf")
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown machine model"), "{err}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_combo() {
+        let a = tmp("badcombo_a.swf");
+        run(&format!("generate --machine eureka --out {a} --days 1 --seed 8")).unwrap();
+        let err = run(&format!(
+            "simulate --a {a} --b {a} --combo XX --capacity-a 100 --capacity-b 100"
+        ))
+        .unwrap_err();
+        assert!(err.contains("bad --combo"), "{err}");
+    }
+
+    #[test]
+    fn pairs_file_with_dangling_reference_is_rejected() {
+        let a = tmp("dangle_a.swf");
+        let b = tmp("dangle_b.swf");
+        let pairs = tmp("dangle_pairs.json");
+        run(&format!("generate --machine eureka --out {a} --days 1 --seed 9")).unwrap();
+        run(&format!("generate --machine eureka --out {b} --days 1 --seed 10")).unwrap();
+        std::fs::write(&pairs, r#"{"pairs": [[999999, 0]]}"#).unwrap();
+        let err = run(&format!(
+            "simulate --a {a} --b {b} --pairs {pairs} --capacity-a 100 --capacity-b 100"
+        ))
+        .unwrap_err();
+        assert!(err.contains("missing job"), "{err}");
+    }
+
+    #[test]
+    fn scheme_letter_mapping() {
+        assert_eq!(scheme_of('H'), Some(Scheme::Hold));
+        assert_eq!(scheme_of('Y'), Some(Scheme::Yield));
+        assert_eq!(scheme_of('Z'), None);
+    }
+
+    #[test]
+    fn analyze_reports_trace_shape() {
+        let a = tmp("analyze_a.swf");
+        run(&format!("generate --machine eureka --out {a} --days 2 --seed 11")).unwrap();
+        let out = run(&format!("analyze --trace {a} --capacity 100")).unwrap();
+        assert!(out.contains("sizes (nodes)"), "{out}");
+        assert!(out.contains("offered utilization"), "{out}");
+        assert!(out.contains("daily load unevenness"), "{out}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"), "{out}");
+    }
+}

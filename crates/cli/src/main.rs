@@ -1,0 +1,21 @@
+//! `cosched` — command-line front end for the coupled coscheduling toolkit.
+//!
+//! See `cosched help` for usage, or the crate README for the full workflow:
+//! generate (or export) SWF traces, associate pairs, simulate.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cosched_cli::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cosched_cli::commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = cosched_cli::run_command(&parsed, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

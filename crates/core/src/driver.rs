@@ -1,0 +1,753 @@
+//! The coupled event-driven simulator.
+//!
+//! Reproduces the evaluation vehicle of §V-A: Qsim (the event-driven
+//! simulator shipped with Cobalt) "extended … to support multi-domain
+//! coscheduling simulation". Both machines' resource managers run inside
+//! one deterministic event loop; coordination between them goes through the
+//! protocol vocabulary of `cosched-proto`, so the simulator exercises the
+//! same `Run_Job` code path a live deployment uses.
+//!
+//! Events are job arrivals, job completions, and hold-release timers (the
+//! deadlock breaker). Every event triggers a scheduling iteration on its
+//! machine; each ready candidate passes through Algorithm 1, which may make
+//! protocol calls that start jobs on the *other* machine (the simultaneous
+//! pair start).
+//!
+//! Termination: the loop ends when the event queue drains. If jobs remain
+//! unfinished at that point, the run **deadlocked** — exactly the
+//! observable the paper reports for hold-hold without the release
+//! enhancement ("the job queues on both machines keep growing, but no job
+//! can start").
+
+use crate::algorithm::{run_job, Decision, LocalContext};
+use crate::config::CoupledConfig;
+use crate::registry::MateRegistry;
+use cosched_metrics::{JobRecord, MachineSummary};
+use cosched_proto::{MateStatus, ProtoError, Request, Response};
+use cosched_sched::{JobStatus, Machine};
+use cosched_sim::{EventQueue, SimDuration, SimTime};
+use cosched_workload::{Job, JobId, Trace};
+use std::collections::{HashMap, HashSet};
+
+/// Events driving the coupled simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Trace job `idx` arrives at machine `m`.
+    Arrival { m: usize, idx: usize },
+    /// A running job completes.
+    JobEnd { m: usize, job: JobId },
+    /// Deadlock-breaker sweep (§IV-E1): periodically force the holding jobs
+    /// on machine `m` to release their resources. Releasing *all* holds at
+    /// once is what lets freed capacity accumulate so that larger waiting
+    /// mates can use it — a per-job timer would free and instantly re-grab
+    /// the same nodes, and the circular wait would persist.
+    ReleaseSweep { m: usize },
+}
+
+/// How the pairs that did synchronize committed their rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RendezvousCounts {
+    /// The second-ready job found its mate *holding* and started it in
+    /// place (Algorithm 1, lines 6–9) — the hold scheme's anchor working
+    /// as designed.
+    pub anchored: usize,
+    /// The ready job direct-started its queued mate via `try_start_mate`
+    /// (lines 10–15) — the yield scheme's (and unsubmitted-mate) path.
+    pub direct: usize,
+    /// Pair members started independently (fault tolerance, missed
+    /// rendezvous); such pairs are typically not synchronized.
+    pub independent: usize,
+}
+
+/// Outcome of a coupled simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Completed-job records per machine.
+    pub records: [Vec<JobRecord>; 2],
+    /// Aggregated metrics per machine.
+    pub summaries: [MachineSummary; 2],
+    /// Final simulation instant (metrics horizon).
+    pub horizon: SimTime,
+    /// True if the event queue drained with jobs still stuck (the hold-hold
+    /// circular wait).
+    pub deadlocked: bool,
+    /// True if the run hit the `max_events` safety valve.
+    pub aborted: bool,
+    /// Jobs left unfinished per machine (non-zero only when deadlocked or
+    /// aborted).
+    pub unfinished: [usize; 2],
+    /// How many holds the deadlock breaker force-released.
+    pub forced_releases: u64,
+    /// |start(a) − start(b)| for every pair in which both jobs completed.
+    pub pair_offsets: Vec<SimDuration>,
+    /// How the completed pairs committed their rendezvous.
+    pub rendezvous: RendezvousCounts,
+    /// Total events dispatched.
+    pub events: u64,
+}
+
+impl SimulationReport {
+    /// The paper's capability claim: "all the paired jobs start at the same
+    /// time with their own mate jobs no matter which one gets ready first".
+    pub fn all_pairs_synchronized(&self) -> bool {
+        self.pair_offsets.iter().all(|d| d.is_zero())
+    }
+
+    /// Largest observed pair start offset (zero when synchronized).
+    pub fn max_pair_offset(&self) -> SimDuration {
+        self.pair_offsets.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// The coupled simulator: two machines, one event loop, protocol-mediated
+/// coordination.
+pub struct CoupledSimulation {
+    config: CoupledConfig,
+    machines: [Machine; 2],
+    jobs: [Vec<Job>; 2],
+    registry: MateRegistry,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    events: u64,
+    forced_releases: u64,
+    /// Fault injection: when false, protocol calls *to* machine `m` fail
+    /// with a transport error.
+    reachable: [bool; 2],
+    /// Fault injection: jobs whose status reads back as `Unknown`
+    /// ("the mate job fails alone").
+    unknown_status: HashSet<(usize, JobId)>,
+    /// Whether a release sweep is currently scheduled per machine. Sweeps
+    /// self-re-arm only while holds exist, so the event loop terminates.
+    sweep_armed: [bool; 2],
+    /// Rendezvous audit: pairs committed via a hold anchor (`StartJob` on a
+    /// held mate), keyed by the started job's `(machine, id)`.
+    anchored_pairs: HashSet<(usize, JobId)>,
+    /// Rendezvous audit: pairs committed via `TryStartMate`.
+    direct_pairs: HashSet<(usize, JobId)>,
+}
+
+impl CoupledSimulation {
+    /// Build a simulation from a coupled configuration and the two traces.
+    ///
+    /// # Panics
+    /// Panics if a trace's machine id does not match its config slot or the
+    /// pairing between the traces is invalid.
+    pub fn new(config: CoupledConfig, traces: [Trace; 2]) -> Self {
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(
+                t.machine(),
+                config.machines[i].machine,
+                "trace {i} targets {}, config expects {}",
+                t.machine(),
+                config.machines[i].machine
+            );
+        }
+        let registry = MateRegistry::from_traces(&traces[0], &traces[1]);
+        let machines = [
+            Machine::new(config.machines[0].clone()),
+            Machine::new(config.machines[1].clone()),
+        ];
+        let [ta, tb] = traces;
+        CoupledSimulation {
+            config,
+            machines,
+            jobs: [ta.into_jobs(), tb.into_jobs()],
+            registry,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events: 0,
+            forced_releases: 0,
+            reachable: [true, true],
+            unknown_status: HashSet::new(),
+            sweep_armed: [false, false],
+            anchored_pairs: HashSet::new(),
+            direct_pairs: HashSet::new(),
+        }
+    }
+
+    /// Fault injection: make protocol calls to machine `m` fail (simulates
+    /// the remote system being down).
+    pub fn set_reachable(&mut self, m: usize, up: bool) {
+        self.reachable[m] = up;
+    }
+
+    /// Fault injection: make machine `m` report `Unknown` for `job`'s
+    /// status (simulates the mate job failing alone).
+    pub fn mark_status_unknown(&mut self, m: usize, job: JobId) {
+        self.unknown_status.insert((m, job));
+    }
+
+    /// Direct access to a machine (tests and examples).
+    pub fn machine(&self, m: usize) -> &Machine {
+        &self.machines[m]
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run to completion and build the report, invoking `observer` every
+    /// `every` events — for long-run monitoring and diagnosis (the observer
+    /// sees the live simulation state through the public accessors).
+    pub fn run_observed(
+        mut self,
+        every: u64,
+        mut observer: impl FnMut(&CoupledSimulation),
+    ) -> SimulationReport {
+        for m in 0..2 {
+            for idx in 0..self.jobs[m].len() {
+                let t = self.jobs[m][idx].submit;
+                self.queue.push(t, Event::Arrival { m, idx });
+            }
+        }
+        let mut aborted = false;
+        while let Some(ev) = self.queue.pop() {
+            if self.events >= self.config.max_events {
+                aborted = true;
+                break;
+            }
+            self.now = ev.time;
+            self.events += 1;
+            if every > 0 && self.events.is_multiple_of(every) {
+                observer(&self);
+            }
+            self.dispatch(ev.event);
+        }
+        self.report(aborted)
+    }
+
+    /// Run to completion and build the report.
+    pub fn run(mut self) -> SimulationReport {
+        // Seed arrivals.
+        for m in 0..2 {
+            for idx in 0..self.jobs[m].len() {
+                let t = self.jobs[m][idx].submit;
+                self.queue.push(t, Event::Arrival { m, idx });
+            }
+        }
+        let mut aborted = false;
+        while let Some(ev) = self.queue.pop() {
+            if self.events >= self.config.max_events {
+                aborted = true;
+                break;
+            }
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events += 1;
+            self.dispatch(ev.event);
+        }
+        self.report(aborted)
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Arrival { m, idx } => {
+                let job = self.jobs[m][idx].clone();
+                self.machines[m].submit(job, self.now);
+                self.iterate(m);
+            }
+            Event::JobEnd { m, job } => {
+                self.machines[m].finish(job, self.now);
+                self.iterate(m);
+            }
+            Event::ReleaseSweep { m } => {
+                self.sweep_armed[m] = false;
+                let Some(period) = self.config.cosched[m].release_period else {
+                    return;
+                };
+                // The release exists to let "other waiting jobs … use the
+                // previously held resources" (§IV-E1). If no queued job is
+                // blocked by the held nodes, the holds are harmless — keep
+                // them (a held job starts the instant its mate is ready,
+                // which is the whole point of the hold scheme).
+                if !self.holds_block_someone(m) {
+                    // Re-check one period from now (not from the oldest
+                    // hold, which is already mature — that would spin).
+                    if !self.machines[m].held_jobs().is_empty() {
+                        self.queue.push(self.now + period, Event::ReleaseSweep { m });
+                        self.sweep_armed[m] = true;
+                    }
+                    return;
+                }
+                // Release EVERY hold, as one batch ("force the holding jobs
+                // to release their resources", §IV-E1). A partial (e.g.
+                // age-filtered) release livelocks: hold timestamps stagger
+                // across events, each sweep frees only a subset, a large
+                // blocked job never sees the full coalesced capacity, and
+                // the released jobs instantly re-hold with fresh staggered
+                // ages. Only the full batch lets the demoted-last iteration
+                // hand the entire held capacity to the waiting jobs first.
+                let held: Vec<JobId> = self.machines[m].held_jobs().to_vec();
+                for job in held {
+                    self.machines[m].release_held(job, self.now);
+                    self.forced_releases += 1;
+                }
+                self.iterate(m);
+                // Re-arm for the re-created holds (they all begin at this
+                // instant, so the next sweep is one full `period` away).
+                self.arm_sweep_if_needed(m);
+            }
+        }
+    }
+
+    /// One scheduling iteration on machine `m`: drain ready candidates
+    /// through Algorithm 1.
+    fn iterate(&mut self, m: usize) {
+        self.machines[m].begin_iteration();
+        while let Some(cand) = self.machines[m].pick_next(self.now) {
+            let cfg = self.config.cosched[m].clone();
+            let job = self
+                .machines[m]
+                .job(cand.job_id)
+                .expect("candidate exists")
+                .clone();
+            let ctx = LocalContext {
+                job: &job,
+                candidate_charged: cand.charged,
+                capacity: self.machines[m].config().capacity,
+                held_nodes: self.machines[m].held_nodes(),
+                yields_so_far: self.machines[m].yields_of(cand.job_id),
+            };
+            let remote = 1 - m;
+            let decision = {
+                let this = &mut *self;
+                run_job(&cfg, &ctx, |req| this.remote_call(remote, req))
+            };
+            match decision {
+                Decision::Start { .. } => {
+                    let end = self.machines[m].start(cand, self.now);
+                    let id = job.id;
+                    self.queue.push(end, Event::JobEnd { m, job: id });
+                }
+                Decision::Hold => {
+                    self.machines[m].hold(cand, self.now);
+                }
+                Decision::Yield => {
+                    self.machines[m].yield_job(cand, self.now);
+                }
+            }
+        }
+        self.arm_sweep_if_needed(m);
+    }
+
+    /// Is any queued job on machine `m` blocked by nodes that holds are
+    /// sitting on? True when a queued job does not fit now but would fit
+    /// (by node count) with the held nodes returned.
+    fn holds_block_someone(&self, m: usize) -> bool {
+        let held = self.machines[m].held_nodes();
+        if held == 0 {
+            return false;
+        }
+        let free = self.machines[m].free_nodes();
+        self.machines[m].queued_jobs().iter().any(|&id| {
+            let size = self.machines[m].job(id).map_or(0, |j| j.size);
+            // Blocked now (by count or by fragmentation) but feasible once
+            // the held nodes come back.
+            size <= free + held && !self.machines[m].can_fit(size)
+        })
+    }
+
+    /// Schedule the next release sweep for machine `m` if it has holds and
+    /// no sweep pending. The sweep fires when the *oldest* hold reaches the
+    /// release period.
+    fn arm_sweep_if_needed(&mut self, m: usize) {
+        if self.sweep_armed[m] {
+            return;
+        }
+        let Some(period) = self.config.cosched[m].release_period else { return };
+        let oldest = self.machines[m]
+            .held_jobs()
+            .iter()
+            .filter_map(|&job| self.machines[m].hold_since(job))
+            .min();
+        if let Some(since) = oldest {
+            let at = (since + period).max(self.now);
+            self.queue.push(at, Event::ReleaseSweep { m });
+            self.sweep_armed[m] = true;
+        }
+    }
+
+    /// Answer one protocol request against machine `m` — the simulator's
+    /// in-process "wire". Starting side effects schedule the corresponding
+    /// end events.
+    fn remote_call(&mut self, m: usize, req: &Request) -> Result<Response, ProtoError> {
+        if !self.reachable[m] {
+            return Err(ProtoError::Disconnected(format!(
+                "machine {m} is down (fault injection)"
+            )));
+        }
+        let caller_machine = self.config.machines[1 - m].machine;
+        Ok(match req {
+            Request::GetMateJob { for_job } => {
+                Response::MateJob(self.registry.mate_of(caller_machine, *for_job))
+            }
+            Request::GetMateStatus { job } => {
+                if self.unknown_status.contains(&(m, *job)) {
+                    Response::MateStatus(MateStatus::Unknown)
+                } else {
+                    Response::MateStatus(match self.machines[m].status(*job) {
+                        JobStatus::Unsubmitted => MateStatus::Unsubmitted,
+                        JobStatus::Queued => MateStatus::Queuing,
+                        JobStatus::Held => MateStatus::Holding,
+                        JobStatus::Running => MateStatus::Running,
+                        JobStatus::Finished => MateStatus::Finished,
+                    })
+                }
+            }
+            Request::TryStartMate { job } => {
+                match self.machines[m].try_start_direct(*job, self.now) {
+                    Some(end) => {
+                        self.queue.push(end, Event::JobEnd { m, job: *job });
+                        self.direct_pairs.insert((m, *job));
+                        Response::Started(true)
+                    }
+                    None => Response::Started(false),
+                }
+            }
+            Request::StartJob { job } => {
+                // Normal path: the mate is holding. Fall back to a direct
+                // start if a release timer raced it back into the queue.
+                let started = self
+                    .machines[m]
+                    .start_held(*job, self.now)
+                    .or_else(|| self.machines[m].try_start_direct(*job, self.now));
+                match started {
+                    Some(end) => {
+                        self.queue.push(end, Event::JobEnd { m, job: *job });
+                        self.anchored_pairs.insert((m, *job));
+                        Response::Started(true)
+                    }
+                    None => Response::Started(false),
+                }
+            }
+            Request::Ping => Response::Pong,
+            Request::CanStart { job } => {
+                Response::CanStart(self.machines[m].can_start_direct(*job, self.now))
+            }
+        })
+    }
+
+    fn report(mut self, aborted: bool) -> SimulationReport {
+        let horizon = self.now;
+        let held_ns = [
+            self.machines[0].held_node_seconds(horizon),
+            self.machines[1].held_node_seconds(horizon),
+        ];
+        let unfinished = [
+            self.jobs[0].len() - self.machines[0].records().len(),
+            self.jobs[1].len() - self.machines[1].records().len(),
+        ];
+        let records = [
+            self.machines[0].take_records(),
+            self.machines[1].take_records(),
+        ];
+        let summaries = [
+            MachineSummary::from_records(
+                self.config.machines[0].name.clone(),
+                &records[0],
+                self.config.machines[0].capacity,
+                horizon.max(SimTime::from_secs(1)),
+                held_ns[0],
+            ),
+            MachineSummary::from_records(
+                self.config.machines[1].name.clone(),
+                &records[1],
+                self.config.machines[1].capacity,
+                horizon.max(SimTime::from_secs(1)),
+                held_ns[1],
+            ),
+        ];
+        // Pair start offsets.
+        let mut starts: HashMap<(usize, JobId), SimTime> = HashMap::new();
+        for (m, recs) in records.iter().enumerate() {
+            for r in recs {
+                starts.insert((m, r.id), r.start);
+            }
+        }
+        let mid = |machine| usize::from(machine == self.config.machines[1].machine);
+        let mut pair_offsets = Vec::new();
+        let mut rendezvous = RendezvousCounts::default();
+        for ((ma, ja), mate) in self.registry.pairs() {
+            if let (Some(&sa), Some(&sb)) = (
+                starts.get(&(mid(ma), ja)),
+                starts.get(&(mid(mate.machine), mate.job)),
+            ) {
+                pair_offsets.push(sa.abs_diff(sb));
+                let keys = [(mid(ma), ja), (mid(mate.machine), mate.job)];
+                if keys.iter().any(|k| self.anchored_pairs.contains(k)) {
+                    rendezvous.anchored += 1;
+                } else if keys.iter().any(|k| self.direct_pairs.contains(k)) {
+                    rendezvous.direct += 1;
+                } else {
+                    rendezvous.independent += 1;
+                }
+            }
+        }
+        pair_offsets.sort();
+        let deadlocked = !aborted && (unfinished[0] > 0 || unfinished[1] > 0);
+        SimulationReport {
+            records,
+            summaries,
+            horizon,
+            deadlocked,
+            aborted,
+            unfinished,
+            forced_releases: self.forced_releases,
+            pair_offsets,
+            rendezvous,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoschedConfig, SchemeCombo};
+    use cosched_sched::MachineConfig;
+    use cosched_workload::{pairing, MachineId};
+    use cosched_sim::SimRng;
+
+    fn mk(machine: usize, id: u64, submit: u64, size: u64, runtime: u64) -> Job {
+        Job::new(
+            JobId(id),
+            MachineId(machine),
+            SimTime::from_secs(submit),
+            size,
+            SimDuration::from_secs(runtime),
+            SimDuration::from_secs(runtime * 2),
+        )
+    }
+
+    /// Two tiny flat machines with FCFS.
+    fn small_config(combo: SchemeCombo) -> CoupledConfig {
+        CoupledConfig {
+            machines: [
+                MachineConfig::flat("A", MachineId(0), 100),
+                MachineConfig::flat("B", MachineId(1), 100),
+            ],
+            cosched: [
+                // The held-fraction cap is cleared: these scenarios hold
+                // more than half the machine on purpose (they exercise the
+                // breaker, not the cap).
+                CoschedConfig::paper(combo.of(0)).with_max_held_fraction(None),
+                CoschedConfig::paper(combo.of(1)).with_max_held_fraction(None),
+            ],
+            max_events: 1_000_000,
+        }
+    }
+
+    fn paired_traces() -> [Trace; 2] {
+        // One pair (job 1 on each machine, submitted 60 s apart) plus an
+        // unpaired filler job on each side that keeps the mate busy briefly.
+        let mut a = Trace::from_jobs(
+            MachineId(0),
+            vec![mk(0, 0, 0, 100, 400), mk(0, 1, 50, 30, 300)],
+        );
+        let mut b = Trace::from_jobs(
+            MachineId(1),
+            vec![mk(1, 0, 0, 100, 600), mk(1, 1, 110, 30, 300)],
+        );
+        let n = pairing::pair_by_window(&mut a, &mut b, SimDuration::from_mins(2));
+        assert_eq!(n, 2); // (a0,b0) and (a1,b1)
+        [a, b]
+    }
+
+    #[test]
+    fn baseline_runs_all_jobs() {
+        let mut cfg = small_config(SchemeCombo::YY);
+        cfg.cosched = [CoschedConfig::disabled(), CoschedConfig::disabled()];
+        let report = CoupledSimulation::new(cfg, paired_traces()).run();
+        assert!(!report.deadlocked);
+        assert_eq!(report.records[0].len(), 2);
+        assert_eq!(report.records[1].len(), 2);
+        // Without coscheduling pairs are NOT generally synchronized.
+        assert_eq!(report.pair_offsets.len(), 2);
+    }
+
+    #[test]
+    fn all_combos_synchronize_pairs() {
+        for combo in SchemeCombo::ALL {
+            let report = CoupledSimulation::new(small_config(combo), paired_traces()).run();
+            assert!(!report.deadlocked, "{} deadlocked", combo.label());
+            assert_eq!(report.unfinished, [0, 0], "{} left jobs", combo.label());
+            assert_eq!(report.pair_offsets.len(), 2, "{}", combo.label());
+            assert!(
+                report.all_pairs_synchronized(),
+                "{}: offsets {:?}",
+                combo.label(),
+                report.pair_offsets
+            );
+        }
+    }
+
+    #[test]
+    fn hold_scheme_accrues_service_unit_loss() {
+        // Machine A holds: its paired job 1 becomes ready while b1 is not
+        // yet submitted, so it holds nodes.
+        let report = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces()).run();
+        let lost: f64 = report.summaries[0].lost_node_hours + report.summaries[1].lost_node_hours;
+        assert!(lost > 0.0, "expected some held node-hours, got {lost}");
+        assert!(report.summaries[0].total_holds + report.summaries[1].total_holds > 0);
+    }
+
+    #[test]
+    fn yield_scheme_loses_no_service_units() {
+        let report = CoupledSimulation::new(small_config(SchemeCombo::YY), paired_traces()).run();
+        assert_eq!(report.summaries[0].lost_node_hours, 0.0);
+        assert_eq!(report.summaries[1].lost_node_hours, 0.0);
+        assert_eq!(report.summaries[0].total_holds + report.summaries[1].total_holds, 0);
+    }
+
+    /// The Fig. 2 scenario: a1 holds 60 nodes on A waiting for b1; b2 holds
+    /// 60 nodes on B waiting for a2; neither mate can ever fit. Without the
+    /// release enhancement this deadlocks.
+    fn deadlock_traces() -> [Trace; 2] {
+        let mut a = Trace::from_jobs(
+            MachineId(0),
+            vec![mk(0, 1, 0, 60, 1_000), mk(0, 2, 10, 60, 1_000)],
+        );
+        let mut b = Trace::from_jobs(
+            MachineId(1),
+            vec![mk(1, 2, 0, 60, 1_000), mk(1, 1, 10, 60, 1_000)],
+        );
+        // Pair a1↔b1 and a2↔b2 explicitly.
+        use cosched_workload::MateRef;
+        a.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(1), job: JobId(1) });
+        b.jobs_mut()[1].mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
+        a.jobs_mut()[1].mate = Some(MateRef { machine: MachineId(1), job: JobId(2) });
+        b.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(0), job: JobId(2) });
+        [a, b]
+    }
+
+    #[test]
+    fn hold_hold_without_breaker_deadlocks() {
+        let mut cfg = small_config(SchemeCombo::HH);
+        cfg.cosched[0].release_period = None;
+        cfg.cosched[1].release_period = None;
+        let report = CoupledSimulation::new(cfg, deadlock_traces()).run();
+        assert!(report.deadlocked, "expected deadlock");
+        assert!(report.unfinished[0] > 0 && report.unfinished[1] > 0);
+        assert_eq!(report.forced_releases, 0);
+    }
+
+    #[test]
+    fn hold_hold_with_breaker_completes() {
+        let report =
+            CoupledSimulation::new(small_config(SchemeCombo::HH), deadlock_traces()).run();
+        assert!(!report.deadlocked, "breaker should resolve the circular wait");
+        assert_eq!(report.unfinished, [0, 0]);
+        assert!(report.forced_releases > 0, "breaker must have fired");
+        assert!(report.all_pairs_synchronized());
+    }
+
+    #[test]
+    fn remote_down_starts_jobs_normally() {
+        let mut sim = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces());
+        sim.set_reachable(1, false);
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert_eq!(report.records[0].len(), 2, "machine 0 proceeds despite dead peer");
+        // Pairs cannot be synchronized with a dead peer — but nothing hangs.
+        assert_eq!(report.unfinished[0], 0);
+    }
+
+    #[test]
+    fn unknown_mate_status_starts_normally() {
+        let mut sim = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces());
+        sim.mark_status_unknown(1, JobId(0));
+        sim.mark_status_unknown(1, JobId(1));
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert_eq!(report.unfinished, [0, 0]);
+        assert_eq!(
+            report.summaries[0].total_holds, 0,
+            "unknown status must not cause holding"
+        );
+    }
+
+    #[test]
+    fn rendezvous_audit_classifies_paths() {
+        // HH on the paired_traces scenario: pair (a0,b0) resolves through
+        // b0 finding a0 HOLDING (anchored); pair (a1,b1) likewise. See the
+        // trace walk in `all_combos_synchronize_pairs`.
+        let report = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces()).run();
+        assert_eq!(report.rendezvous.anchored, 2, "{:?}", report.rendezvous);
+        assert_eq!(report.rendezvous.independent, 0);
+
+        // YY: a0 yields, then b0 direct-starts it (TryStartMate) — every
+        // pair commits through the direct path.
+        let report = CoupledSimulation::new(small_config(SchemeCombo::YY), paired_traces()).run();
+        assert_eq!(report.rendezvous.direct, 2, "{:?}", report.rendezvous);
+        assert_eq!(report.rendezvous.anchored, 0);
+
+        // Dead remote: machine-0 pairs start independently.
+        let mut sim = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces());
+        sim.set_reachable(1, false);
+        let report = sim.run();
+        assert_eq!(report.rendezvous.anchored, 0, "{:?}", report.rendezvous);
+    }
+
+    #[test]
+    fn determinism_same_input_same_report() {
+        let r1 = CoupledSimulation::new(small_config(SchemeCombo::HY), paired_traces()).run();
+        let r2 = CoupledSimulation::new(small_config(SchemeCombo::HY), paired_traces()).run();
+        assert_eq!(r1.records, r2.records);
+        assert_eq!(r1.events, r2.events);
+        assert_eq!(r1.pair_offsets, r2.pair_offsets);
+    }
+
+    #[test]
+    fn max_events_aborts_cleanly() {
+        let mut cfg = small_config(SchemeCombo::YY);
+        cfg.max_events = 3;
+        let report = CoupledSimulation::new(cfg, paired_traces()).run();
+        assert!(report.aborted);
+        assert!(!report.deadlocked, "aborted runs are not reported as deadlock");
+    }
+
+    #[test]
+    fn larger_random_workload_all_combos_synchronize() {
+        use cosched_workload::{MachineModel, TraceGenerator};
+        let rng = SimRng::seed_from_u64(42);
+        for combo in SchemeCombo::ALL {
+            let mut a = TraceGenerator::new(
+                MachineModel::eureka().with_runtime(1_200.0, 1.0),
+                MachineId(0),
+            )
+            .span(SimDuration::from_days(2))
+            .target_utilization(0.6)
+            .generate(&mut rng.fork(1));
+            let mut b = TraceGenerator::new(
+                MachineModel::eureka().with_runtime(1_200.0, 1.0),
+                MachineId(1),
+            )
+            .span(SimDuration::from_days(2))
+            .target_utilization(0.6)
+            .generate(&mut rng.fork(2));
+            let pairs = pairing::pair_exact_proportion(
+                &mut a,
+                &mut b,
+                0.2,
+                SimDuration::from_mins(2),
+                &mut rng.fork(3),
+            );
+            assert!(pairs > 5, "workload too small: {pairs} pairs");
+            let mut cfg = small_config(combo);
+            cfg.machines[0] = MachineConfig::eureka(MachineId(0));
+            cfg.machines[0].name = "A".into();
+            cfg.machines[1] = MachineConfig::eureka(MachineId(1));
+            cfg.machines[1].name = "B".into();
+            let report = CoupledSimulation::new(cfg, [a, b]).run();
+            assert!(!report.deadlocked, "{} deadlocked", combo.label());
+            assert_eq!(report.unfinished, [0, 0], "{}", combo.label());
+            assert!(
+                report.all_pairs_synchronized(),
+                "{}: max offset {}",
+                combo.label(),
+                report.max_pair_offset()
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Coscheduling of associated jobs on coupled high-end computing systems —
+//! the primary contribution of Tang et al., ICPP 2011.
+//!
+//! Two machines with independent resource managers and policies run
+//! workloads containing *associated pairs*: a compute job and its data
+//! analysis/visualization mate that must start simultaneously. This crate
+//! implements:
+//!
+//! * [`config`] — the hold/yield [`config::Scheme`]s, the four
+//!   [`config::SchemeCombo`]s (HH/HY/YH/YY), and the enhancement knobs of
+//!   §IV-E (hold-release period, maximum held-node fraction, maximum yields
+//!   before escalating to hold, per-yield priority boost);
+//! * [`registry`] — the mate registry mapping each paired job to its mate on
+//!   the other domain;
+//! * [`algorithm`] — Algorithm 1 (`Run_Job`) as a pure decision procedure
+//!   over the protocol vocabulary, shared by the simulator and the live
+//!   endpoint, including all fault-tolerance branches;
+//! * [`driver`] — the coupled event-driven simulator (the Qsim extension of
+//!   §V-A): both machines in one deterministic event loop, coordination
+//!   routed through protocol messages, hold-release timers, deadlock
+//!   detection, and a [`driver::SimulationReport`];
+//! * [`live`] — a wall-clock domain wrapper that serves the protocol over a
+//!   real [`cosched_proto::Transport`], demonstrating deployment outside
+//!   the simulator.
+
+pub mod algorithm;
+pub mod config;
+pub mod driver;
+pub mod live;
+pub mod nway;
+pub mod registry;
+pub mod temporal;
+
+pub use algorithm::{run_job, Decision, LocalContext};
+pub use config::{CoschedConfig, CoupledConfig, Scheme, SchemeCombo};
+pub use driver::{CoupledSimulation, SimulationReport};
+pub use nway::{GroupId, GroupRegistry, NwayConfig, NwayReport, NwaySimulation};
+pub use registry::MateRegistry;

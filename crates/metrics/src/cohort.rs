@@ -1,0 +1,182 @@
+//! Cohort breakdowns: paired vs. regular jobs, and job-size classes.
+//!
+//! The paper's problem statement (§IV-A) requires the mechanism to "limit
+//! the side effect on system utilization and the response times of both
+//! paired and nonpaired jobs", and its discussion of Fig. 3/4 attributes
+//! the hold scheme's cost to *regular* jobs ("other regular jobs will
+//! suffer more waiting time"). Aggregates over all jobs can hide exactly
+//! that effect, so this module splits the records.
+
+use crate::record::JobRecord;
+use crate::stats;
+use cosched_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Wait/slowdown aggregates for one cohort of jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortStats {
+    /// Jobs in the cohort.
+    pub count: usize,
+    /// Average waiting time, minutes.
+    pub avg_wait_mins: f64,
+    /// Median waiting time, minutes.
+    pub median_wait_mins: f64,
+    /// Average slowdown.
+    pub avg_slowdown: f64,
+    /// Average bounded slowdown (tau = 10 min).
+    pub avg_bounded_slowdown: f64,
+}
+
+impl CohortStats {
+    /// Aggregate a cohort (all-zero for an empty one).
+    pub fn of<'a>(records: impl Iterator<Item = &'a JobRecord>) -> Self {
+        let records: Vec<&JobRecord> = records.collect();
+        let waits: Vec<f64> = records.iter().map(|r| r.wait().as_mins_f64()).collect();
+        let slow: Vec<f64> = records.iter().map(|r| r.slowdown()).collect();
+        let bounded: Vec<f64> = records
+            .iter()
+            .map(|r| r.bounded_slowdown(SimDuration::from_mins(10)))
+            .collect();
+        CohortStats {
+            count: records.len(),
+            avg_wait_mins: stats::mean(&waits),
+            median_wait_mins: stats::median(&waits),
+            avg_slowdown: stats::mean(&slow),
+            avg_bounded_slowdown: stats::mean(&bounded),
+        }
+    }
+}
+
+/// A size class: jobs whose request is in `[lo, hi)` as a fraction of
+/// machine capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeClass {
+    /// Class label.
+    pub label: String,
+    /// Lower bound, inclusive, fraction of capacity.
+    pub lo: f64,
+    /// Upper bound, exclusive, fraction of capacity (use > 1.0 for the top).
+    pub hi: f64,
+    /// Aggregates for the class.
+    pub stats: CohortStats,
+}
+
+/// Paired/regular + size-class breakdown of a machine's records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortBreakdown {
+    /// Jobs carrying a mate reference.
+    pub paired: CohortStats,
+    /// Everyone else — the "regular jobs" of the paper's discussion.
+    pub regular: CohortStats,
+    /// Size classes: narrow (<1 % of capacity), medium (1–25 %), wide
+    /// (≥25 %).
+    pub size_classes: Vec<SizeClass>,
+}
+
+impl CohortBreakdown {
+    /// Split `records` for a machine of `capacity` nodes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn of(records: &[JobRecord], capacity: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let classes = [("narrow", 0.0, 0.01), ("medium", 0.01, 0.25), ("wide", 0.25, f64::INFINITY)];
+        CohortBreakdown {
+            paired: CohortStats::of(records.iter().filter(|r| r.paired)),
+            regular: CohortStats::of(records.iter().filter(|r| !r.paired)),
+            size_classes: classes
+                .iter()
+                .map(|&(label, lo, hi)| SizeClass {
+                    label: label.to_string(),
+                    lo,
+                    hi,
+                    stats: CohortStats::of(records.iter().filter(|r| {
+                        let frac = r.size as f64 / capacity as f64;
+                        frac >= lo && frac < hi
+                    })),
+                })
+                .collect(),
+        }
+    }
+
+    /// Regular-minus-paired average wait, minutes: positive when regular
+    /// jobs pay for coscheduling (the effect the paper attributes to hold).
+    pub fn regular_penalty_mins(&self) -> f64 {
+        if self.regular.count == 0 || self.paired.count == 0 {
+            0.0
+        } else {
+            self.regular.avg_wait_mins - self.paired.avg_wait_mins
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_sim::SimTime;
+    use cosched_workload::{JobId, MachineId};
+
+    fn rec(id: u64, size: u64, submit: u64, start: u64, paired: bool) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            machine: MachineId(0),
+            size,
+            submit: SimTime::from_secs(submit),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + 600),
+            runtime: SimDuration::from_secs(600),
+            walltime: SimDuration::from_secs(1_200),
+            paired,
+            first_ready: None,
+            yields: 0,
+            holds: 0,
+        }
+    }
+
+    #[test]
+    fn splits_paired_and_regular() {
+        let records = vec![
+            rec(1, 10, 0, 600, true),   // wait 10 min
+            rec(2, 10, 0, 1_800, false), // wait 30 min
+            rec(3, 10, 0, 3_000, false), // wait 50 min
+        ];
+        let b = CohortBreakdown::of(&records, 100);
+        assert_eq!(b.paired.count, 1);
+        assert_eq!(b.regular.count, 2);
+        assert!((b.paired.avg_wait_mins - 10.0).abs() < 1e-9);
+        assert!((b.regular.avg_wait_mins - 40.0).abs() < 1e-9);
+        assert!((b.regular_penalty_mins() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_classes_partition_records() {
+        let records = vec![
+            rec(1, 1, 0, 0, false),    // 0.1 % → narrow (on capacity 1000)
+            rec(2, 50, 0, 0, false),   // 5 % → medium
+            rec(3, 400, 0, 0, false),  // 40 % → wide
+            rec(4, 999, 0, 0, false),  // wide
+        ];
+        let b = CohortBreakdown::of(&records, 1_000);
+        let counts: Vec<usize> = b.size_classes.iter().map(|c| c.stats.count).collect();
+        assert_eq!(counts, vec![1, 1, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), records.len());
+    }
+
+    #[test]
+    fn empty_cohorts_are_zero_and_penalty_is_guarded() {
+        let b = CohortBreakdown::of(&[], 10);
+        assert_eq!(b.paired.count, 0);
+        assert_eq!(b.regular.count, 0);
+        assert_eq!(b.regular_penalty_mins(), 0.0);
+        // Only regular jobs: penalty undefined → 0.
+        let b = CohortBreakdown::of(&[rec(1, 1, 0, 600, false)], 10);
+        assert_eq!(b.regular_penalty_mins(), 0.0);
+    }
+
+    #[test]
+    fn cohort_stats_of_empty_iterator() {
+        let s = CohortStats::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_wait_mins, 0.0);
+    }
+}

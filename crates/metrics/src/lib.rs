@@ -1,0 +1,27 @@
+//! Evaluation metrics for the coscheduling study.
+//!
+//! Implements the four metrics of the paper's §V-C plus supporting
+//! statistics:
+//!
+//! * **Waiting time** — submission to start.
+//! * **Slowdown** — response time (wait + run) over run time; a bounded
+//!   variant is provided for robustness reporting.
+//! * **Paired-job synchronization time** — the extra time a job waits for
+//!   its mate beyond the moment it first became ready to run.
+//! * **Service-unit loss** — node-hours wasted by the *hold* scheme, also
+//!   expressed as a lost system-utilization rate.
+//!
+//! [`record::JobRecord`] is the per-job ledger filled in by the simulation
+//! driver; [`summary::MachineSummary`] aggregates a machine's records into
+//! the numbers the paper's figures plot; [`table`] renders aligned ASCII
+//! tables for the figure harnesses.
+
+pub mod cohort;
+pub mod record;
+pub mod stats;
+pub mod summary;
+pub mod table;
+
+pub use cohort::{CohortBreakdown, CohortStats};
+pub use record::JobRecord;
+pub use summary::MachineSummary;

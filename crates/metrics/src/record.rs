@@ -1,0 +1,156 @@
+//! Per-job outcome ledger.
+
+use cosched_sim::{SimDuration, SimTime};
+use cosched_workload::{JobId, MachineId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the evaluation needs to know about one completed job.
+///
+/// Filled in by the simulation driver as the job moves through its
+/// lifecycle. `first_ready` is the instant the local scheduler first
+/// *selected* the job and had nodes for it — under coscheduling a paired job
+/// may then hold or yield instead of starting, and the gap between
+/// `first_ready` and `start` is the paper's *synchronization time*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Trace-local job id.
+    pub id: JobId,
+    /// Machine the job ran on.
+    pub machine: MachineId,
+    /// Nodes used.
+    pub size: u64,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// Start instant.
+    pub start: SimTime,
+    /// Completion instant.
+    pub end: SimTime,
+    /// Actual runtime.
+    pub runtime: SimDuration,
+    /// Requested walltime.
+    pub walltime: SimDuration,
+    /// Whether the job was half of an associated pair.
+    pub paired: bool,
+    /// First instant the scheduler selected this job with nodes available.
+    /// `None` for jobs started directly without a ready notification (not
+    /// produced by our driver, but tolerated for externally built records).
+    pub first_ready: Option<SimTime>,
+    /// How many times the job yielded before starting.
+    pub yields: u32,
+    /// How many times the job entered hold before starting.
+    pub holds: u32,
+}
+
+impl JobRecord {
+    /// Waiting time: submission to start (§V-C).
+    pub fn wait(&self) -> SimDuration {
+        self.start - self.submit
+    }
+
+    /// Slowdown: `(wait + runtime) / runtime` (§V-C). Runtime is guaranteed
+    /// nonzero by the job model.
+    pub fn slowdown(&self) -> f64 {
+        let run = self.runtime.as_secs() as f64;
+        (self.wait().as_secs() as f64 + run) / run
+    }
+
+    /// Bounded slowdown with threshold `tau`: very short jobs otherwise
+    /// dominate the average (Feitelson's standard correction,
+    /// `max(1, (wait+run)/max(run, tau))`).
+    pub fn bounded_slowdown(&self, tau: SimDuration) -> f64 {
+        let run = self.runtime.as_secs() as f64;
+        let denom = run.max(tau.as_secs() as f64).max(1.0);
+        ((self.wait().as_secs() as f64 + run) / denom).max(1.0)
+    }
+
+    /// Paired-job synchronization time: extra waiting attributable to
+    /// coscheduling, i.e. `start − first_ready`. Zero for unpaired jobs and
+    /// for jobs that started the moment they became ready.
+    pub fn sync_time(&self) -> SimDuration {
+        match (self.paired, self.first_ready) {
+            (true, Some(ready)) => self.start - ready,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Response time: wait plus runtime.
+    pub fn response(&self) -> SimDuration {
+        self.wait() + self.runtime
+    }
+
+    /// Node-seconds of useful work.
+    pub fn node_seconds(&self) -> u64 {
+        self.size * self.runtime.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(submit: u64, ready: Option<u64>, start: u64, runtime: u64, paired: bool) -> JobRecord {
+        JobRecord {
+            id: JobId(1),
+            machine: MachineId(0),
+            size: 8,
+            submit: SimTime::from_secs(submit),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + runtime),
+            runtime: SimDuration::from_secs(runtime),
+            walltime: SimDuration::from_secs(runtime * 2),
+            paired,
+            first_ready: ready.map(SimTime::from_secs),
+            yields: 0,
+            holds: 0,
+        }
+    }
+
+    #[test]
+    fn wait_and_response() {
+        let r = record(100, None, 400, 600, false);
+        assert_eq!(r.wait(), SimDuration::from_secs(300));
+        assert_eq!(r.response(), SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn slowdown_formula() {
+        let r = record(0, None, 600, 600, false);
+        assert!((r.slowdown() - 2.0).abs() < 1e-12);
+        let immediate = record(50, None, 50, 600, false);
+        assert!((immediate.slowdown() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_caps_short_jobs() {
+        // 10-second job waiting 1000 s: raw slowdown 101, bounded (tau=600)
+        // only (1000+10)/600.
+        let r = record(0, None, 1_000, 10, false);
+        assert!(r.slowdown() > 100.0);
+        let b = r.bounded_slowdown(SimDuration::from_secs(600));
+        assert!((b - 1010.0 / 600.0).abs() < 1e-12);
+        // Never below 1.
+        let quick = record(0, None, 0, 10, false);
+        assert_eq!(quick.bounded_slowdown(SimDuration::from_secs(600)), 1.0);
+    }
+
+    #[test]
+    fn sync_time_only_for_paired() {
+        let r = record(0, Some(200), 500, 100, true);
+        assert_eq!(r.sync_time(), SimDuration::from_secs(300));
+        let unpaired = record(0, Some(200), 500, 100, false);
+        assert_eq!(unpaired.sync_time(), SimDuration::ZERO);
+        let no_ready = record(0, None, 500, 100, true);
+        assert_eq!(no_ready.sync_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sync_time_zero_when_started_at_ready() {
+        let r = record(0, Some(500), 500, 100, true);
+        assert_eq!(r.sync_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_seconds() {
+        assert_eq!(record(0, None, 0, 600, false).node_seconds(), 8 * 600);
+    }
+}

@@ -1,0 +1,111 @@
+//! Small descriptive-statistics helpers shared by summaries and harnesses.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than 2 points.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// `q`-th quantile (0 ≤ q ≤ 1) with linear interpolation between order
+/// statistics; 0 for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median, via [`quantile`].
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Mean ± sample-stddev confidence half-width at ~95 % (1.96 standard
+/// errors). Returns `(mean, half_width)`; half-width 0 with < 2 points.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let se = stddev(xs) / (xs.len() as f64).sqrt();
+    (m, 1.96 * se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Sample stddev of {2,4,4,4,5,5,7,9} with n−1 is sqrt(32/7).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 1.0 / 3.0) - 20.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let few: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..400).map(|i| (i % 4) as f64).collect();
+        let (_, hw_few) = mean_ci95(&few);
+        let (_, hw_many) = mean_ci95(&many);
+        assert!(hw_many < hw_few);
+        assert_eq!(mean_ci95(&[1.0]).1, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Aggregation of job records into the quantities the paper's figures plot.
+
+use crate::record::JobRecord;
+use crate::stats;
+use cosched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One machine's aggregate results for one simulation run.
+///
+/// All time-based averages are reported in minutes, matching the units of
+/// the paper's figures (Figs. 3, 5, 7, 9 plot minutes; Figs. 4, 8 plot
+/// dimensionless slowdowns; Figs. 6, 10 plot node-hours and a lost
+/// utilization rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSummary {
+    /// Machine label (e.g. "Intrepid").
+    pub machine: String,
+    /// Jobs that completed.
+    pub jobs: usize,
+    /// Of which paired.
+    pub paired_jobs: usize,
+    /// Average waiting time, minutes (Fig. 3 / Fig. 7 metric).
+    pub avg_wait_mins: f64,
+    /// Median waiting time, minutes.
+    pub median_wait_mins: f64,
+    /// Average slowdown (Fig. 4 / Fig. 8 metric).
+    pub avg_slowdown: f64,
+    /// Average bounded slowdown (tau = 10 min), robustness companion.
+    pub avg_bounded_slowdown: f64,
+    /// Average synchronization time among paired jobs, minutes
+    /// (Fig. 5 / Fig. 9 metric).
+    pub avg_sync_mins: f64,
+    /// Maximum synchronization time among paired jobs, minutes.
+    pub max_sync_mins: f64,
+    /// Node-hours lost to holding (Fig. 6 / Fig. 10 metric).
+    pub lost_node_hours: f64,
+    /// The same loss as a fraction of total capacity over the horizon.
+    pub lost_util_rate: f64,
+    /// Delivered utilization: useful node-seconds over capacity × horizon.
+    pub utilization: f64,
+    /// Total yields performed by paired jobs.
+    pub total_yields: u64,
+    /// Total hold episodes entered by paired jobs.
+    pub total_holds: u64,
+}
+
+impl MachineSummary {
+    /// Aggregate `records` for a machine of `capacity` nodes observed over
+    /// `[0, horizon]`. `held_node_seconds` is the integral of held (idle but
+    /// reserved) nodes over time, supplied by the simulation driver's hold
+    /// ledger.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `horizon` is zero while records are
+    /// non-empty (that would make rate metrics meaningless).
+    pub fn from_records(
+        machine: impl Into<String>,
+        records: &[JobRecord],
+        capacity: u64,
+        horizon: SimTime,
+        held_node_seconds: u64,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        if !records.is_empty() {
+            assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        }
+        let waits: Vec<f64> = records.iter().map(|r| r.wait().as_mins_f64()).collect();
+        let slowdowns: Vec<f64> = records.iter().map(|r| r.slowdown()).collect();
+        let bounded: Vec<f64> = records
+            .iter()
+            .map(|r| r.bounded_slowdown(SimDuration::from_mins(10)))
+            .collect();
+        let syncs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.paired)
+            .map(|r| r.sync_time().as_mins_f64())
+            .collect();
+
+        let horizon_secs = horizon.as_secs().max(1);
+        let useful: u64 = records.iter().map(|r| r.node_seconds()).sum();
+        let denom = capacity as f64 * horizon_secs as f64;
+
+        MachineSummary {
+            machine: machine.into(),
+            jobs: records.len(),
+            paired_jobs: records.iter().filter(|r| r.paired).count(),
+            avg_wait_mins: stats::mean(&waits),
+            median_wait_mins: stats::median(&waits),
+            avg_slowdown: stats::mean(&slowdowns),
+            avg_bounded_slowdown: stats::mean(&bounded),
+            avg_sync_mins: stats::mean(&syncs),
+            max_sync_mins: syncs.iter().copied().fold(0.0, f64::max),
+            lost_node_hours: held_node_seconds as f64 / 3_600.0,
+            lost_util_rate: held_node_seconds as f64 / denom,
+            utilization: useful as f64 / denom,
+            total_yields: records.iter().map(|r| r.yields as u64).sum(),
+            total_holds: records.iter().map(|r| r.holds as u64).sum(),
+        }
+    }
+
+    /// Element-wise mean over per-seed summaries (the paper runs each case
+    /// 10 times). Counts are averaged and rounded.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn average(summaries: &[MachineSummary]) -> MachineSummary {
+        assert!(!summaries.is_empty(), "cannot average zero summaries");
+        let n = summaries.len() as f64;
+        let f = |get: fn(&MachineSummary) -> f64| summaries.iter().map(get).sum::<f64>() / n;
+        MachineSummary {
+            machine: summaries[0].machine.clone(),
+            jobs: (summaries.iter().map(|s| s.jobs).sum::<usize>() as f64 / n).round() as usize,
+            paired_jobs: (summaries.iter().map(|s| s.paired_jobs).sum::<usize>() as f64 / n).round()
+                as usize,
+            avg_wait_mins: f(|s| s.avg_wait_mins),
+            median_wait_mins: f(|s| s.median_wait_mins),
+            avg_slowdown: f(|s| s.avg_slowdown),
+            avg_bounded_slowdown: f(|s| s.avg_bounded_slowdown),
+            avg_sync_mins: f(|s| s.avg_sync_mins),
+            max_sync_mins: f(|s| s.max_sync_mins),
+            lost_node_hours: f(|s| s.lost_node_hours),
+            lost_util_rate: f(|s| s.lost_util_rate),
+            utilization: f(|s| s.utilization),
+            total_yields: (summaries.iter().map(|s| s.total_yields).sum::<u64>() as f64 / n).round()
+                as u64,
+            total_holds: (summaries.iter().map(|s| s.total_holds).sum::<u64>() as f64 / n).round()
+                as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_workload::{JobId, MachineId};
+
+    fn rec(id: u64, submit: u64, ready: u64, start: u64, runtime: u64, size: u64, paired: bool) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            machine: MachineId(0),
+            size,
+            submit: SimTime::from_secs(submit),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + runtime),
+            runtime: SimDuration::from_secs(runtime),
+            walltime: SimDuration::from_secs(runtime),
+            paired,
+            first_ready: Some(SimTime::from_secs(ready)),
+            yields: if paired { 2 } else { 0 },
+            holds: if paired { 1 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn aggregates_basic_metrics() {
+        let records = vec![
+            rec(1, 0, 0, 600, 600, 10, false),    // wait 10 min, slowdown 2
+            rec(2, 0, 0, 1800, 600, 10, false),   // wait 30 min, slowdown 4
+            rec(3, 0, 600, 1200, 600, 10, true),  // wait 20 min, sync 10 min
+        ];
+        let horizon = SimTime::from_secs(3_600);
+        let s = MachineSummary::from_records("Test", &records, 100, horizon, 7_200);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.paired_jobs, 1);
+        assert!((s.avg_wait_mins - 20.0).abs() < 1e-9);
+        assert!((s.median_wait_mins - 20.0).abs() < 1e-9);
+        assert!((s.avg_slowdown - 3.0).abs() < 1e-9); // (2+4+3)/3
+        assert!((s.avg_sync_mins - 10.0).abs() < 1e-9);
+        assert!((s.max_sync_mins - 10.0).abs() < 1e-9);
+        assert!((s.lost_node_hours - 2.0).abs() < 1e-9);
+        // 7200 node-s over 100 × 3600 node-s = 2 %.
+        assert!((s.lost_util_rate - 0.02).abs() < 1e-12);
+        // Useful work 3 × 10 × 600 = 18_000 node-s over 360_000 = 5 %.
+        assert!((s.utilization - 0.05).abs() < 1e-12);
+        assert_eq!(s.total_yields, 2);
+        assert_eq!(s.total_holds, 1);
+    }
+
+    #[test]
+    fn empty_records_are_all_zero() {
+        let s = MachineSummary::from_records("Empty", &[], 100, SimTime::ZERO, 0);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.avg_wait_mins, 0.0);
+        assert_eq!(s.avg_sync_mins, 0.0);
+        assert_eq!(s.utilization, 0.0);
+    }
+
+    #[test]
+    fn sync_stats_ignore_unpaired() {
+        let records = vec![
+            rec(1, 0, 0, 6_000, 600, 1, false), // big wait, but unpaired
+            rec(2, 0, 100, 160, 600, 1, true),  // sync 1 min
+        ];
+        let s = MachineSummary::from_records("T", &records, 10, SimTime::from_secs(10_000), 0);
+        assert!((s.avg_sync_mins - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_over_seeds() {
+        let horizon = SimTime::from_secs(1_000);
+        let a = MachineSummary::from_records("M", &[rec(1, 0, 0, 600, 600, 10, false)], 100, horizon, 0);
+        let b = MachineSummary::from_records("M", &[rec(1, 0, 0, 1_800, 600, 10, false)], 100, horizon, 3_600);
+        let avg = MachineSummary::average(&[a, b]);
+        assert!((avg.avg_wait_mins - 20.0).abs() < 1e-9);
+        assert!((avg.lost_node_hours - 0.5).abs() < 1e-9);
+        assert_eq!(avg.jobs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero")]
+    fn average_rejects_empty() {
+        MachineSummary::average(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        MachineSummary::from_records("X", &[], 0, SimTime::from_secs(1), 0);
+    }
+}

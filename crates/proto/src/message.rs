@@ -1,0 +1,161 @@
+//! Protocol vocabulary: the four coordination RPCs of the paper plus a
+//! liveness probe.
+
+use cosched_workload::{JobId, MateRef};
+use serde::{Deserialize, Serialize};
+
+/// Status of a mate job as reported by its domain — the values Algorithm 1
+/// switches on (`holding`, `queuing`, `unsubmitted`, `unknown`), extended
+/// with the terminal states a real deployment also needs to express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MateStatus {
+    /// Ready with nodes allocated, waiting for this caller's job.
+    Holding,
+    /// Waiting in the remote queue.
+    Queuing,
+    /// Known pairing but the mate has not been submitted yet.
+    Unsubmitted,
+    /// Already executing (the caller missed the rendezvous; it should start
+    /// immediately — co-execution is already in progress).
+    Running,
+    /// Already finished.
+    Finished,
+    /// The remote cannot determine the status (mate failed alone,
+    /// Algorithm 1 line 25): the caller starts normally.
+    Unknown,
+}
+
+/// A coordination request, sent by the domain whose job just became ready.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// `remote.get_mate_job(j)`: does the remote know a mate for local job
+    /// `for_job`? (Algorithm 1, line 2.)
+    GetMateJob {
+        /// The local job asking.
+        for_job: JobId,
+    },
+    /// `remote.get_mate_status(k)`: status of remote job `job`
+    /// (Algorithm 1, line 4).
+    GetMateStatus {
+        /// The remote mate's id.
+        job: JobId,
+    },
+    /// `remote.try_start_mate(k)`: run an extra scheduling iteration and
+    /// start `job` if possible (Algorithm 1, line 12).
+    TryStartMate {
+        /// The remote mate's id.
+        job: JobId,
+    },
+    /// `remote.start_job(k)`: the caller's job is starting; start the
+    /// holding mate `job` too (Algorithm 1, line 8).
+    StartJob {
+        /// The remote mate's id.
+        job: JobId,
+    },
+    /// Liveness probe.
+    Ping,
+    /// N-way extension: could `job` start right now if asked? A
+    /// non-committing version of [`Request::TryStartMate`], used by the
+    /// N-way rendezvous to check *all* group members before starting any.
+    CanStart {
+        /// The remote member's id.
+        job: JobId,
+    },
+}
+
+/// Response to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::GetMateJob`].
+    MateJob(Option<MateRef>),
+    /// Answer to [`Request::GetMateStatus`].
+    MateStatus(MateStatus),
+    /// Answer to [`Request::TryStartMate`] / [`Request::StartJob`]: whether
+    /// the job is now running.
+    Started(bool),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::CanStart`].
+    CanStart(bool),
+    /// The service could not process the request (e.g. unknown job in a
+    /// `StartJob`); carries a human-readable reason. Callers treat this
+    /// like an unknown status.
+    Error(String),
+}
+
+impl Response {
+    /// Convenience: interpret as a started flag, defaulting to `false` for
+    /// mismatched or error responses (fail-safe: never double-start).
+    pub fn started(&self) -> bool {
+        matches!(self, Response::Started(true))
+    }
+
+    /// Convenience: interpret as a status, mapping anything unexpected to
+    /// [`MateStatus::Unknown`] per the fault-tolerance rule.
+    pub fn status(&self) -> MateStatus {
+        match self {
+            Response::MateStatus(s) => *s,
+            _ => MateStatus::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_workload::MachineId;
+
+    fn roundtrip<T: Serialize + for<'d> Deserialize<'d> + PartialEq + std::fmt::Debug>(v: &T) {
+        let s = serde_json::to_string(v).unwrap();
+        let back: T = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, &back);
+    }
+
+    #[test]
+    fn requests_roundtrip_json() {
+        roundtrip(&Request::GetMateJob { for_job: JobId(7) });
+        roundtrip(&Request::GetMateStatus { job: JobId(8) });
+        roundtrip(&Request::TryStartMate { job: JobId(9) });
+        roundtrip(&Request::StartJob { job: JobId(10) });
+        roundtrip(&Request::Ping);
+        roundtrip(&Request::CanStart { job: JobId(11) });
+    }
+
+    #[test]
+    fn responses_roundtrip_json() {
+        roundtrip(&Response::MateJob(Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(3),
+        })));
+        roundtrip(&Response::MateJob(None));
+        for s in [
+            MateStatus::Holding,
+            MateStatus::Queuing,
+            MateStatus::Unsubmitted,
+            MateStatus::Running,
+            MateStatus::Finished,
+            MateStatus::Unknown,
+        ] {
+            roundtrip(&Response::MateStatus(s));
+        }
+        roundtrip(&Response::Started(true));
+        roundtrip(&Response::Pong);
+        roundtrip(&Response::CanStart(false));
+        roundtrip(&Response::Error("boom".into()));
+    }
+
+    #[test]
+    fn started_helper_is_fail_safe() {
+        assert!(Response::Started(true).started());
+        assert!(!Response::Started(false).started());
+        assert!(!Response::Pong.started());
+        assert!(!Response::Error("x".into()).started());
+    }
+
+    #[test]
+    fn status_helper_defaults_to_unknown() {
+        assert_eq!(Response::MateStatus(MateStatus::Holding).status(), MateStatus::Holding);
+        assert_eq!(Response::Pong.status(), MateStatus::Unknown);
+        assert_eq!(Response::Error("x".into()).status(), MateStatus::Unknown);
+    }
+}

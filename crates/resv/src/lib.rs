@@ -1,0 +1,26 @@
+//! Advance co-reservation baseline.
+//!
+//! The paper's related-work section (§III) discusses the established way to
+//! start related jobs on multiple systems at the same time: **advance
+//! resource co-reservation** (HARC, GARA, GUR). It argues co-reservation is
+//! a poor fit for coupled HEC systems because (1) it needs manual policy
+//! negotiation, and (2) "excessive use of reservation will leave temporal
+//! fragmentations on the computing resources, thereby leading to worse
+//! response times for regular jobs".
+//!
+//! This crate implements that comparator so the claim can be measured
+//! rather than asserted: a reservation-based coupled scheduler that books
+//! every job — and every associated pair at a common instant on both
+//! machines — into walltime-sized slots on capacity profiles.
+//!
+//! * [`profile`] — [`profile::CapacityProfile`], a step-function ledger of
+//!   committed node usage over time with earliest-fit queries;
+//! * [`sim`] — [`sim::ReservationSimulation`], the coupled reservation
+//!   scheduler producing the same [`cosched_metrics::MachineSummary`]
+//!   metrics as the protocol coscheduler, so the two compare row-for-row.
+
+pub mod profile;
+pub mod sim;
+
+pub use profile::CapacityProfile;
+pub use sim::{ReservationReport, ReservationSimulation};

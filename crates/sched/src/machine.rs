@@ -1,0 +1,1010 @@
+//! The single-domain resource manager.
+//!
+//! A [`Machine`] owns a node allocator, a job queue, and the lifecycle state
+//! of every job submitted to it. Scheduling proceeds in *iterations*: the
+//! driver calls [`Machine::begin_iteration`] and then repeatedly
+//! [`Machine::pick_next`], which returns the next *ready* job — selected by
+//! policy order with EASY backfilling — with nodes tentatively allocated.
+//! The caller (the coscheduling layer's `Run_Job`, Algorithm 1 in the paper)
+//! then commits one of three outcomes:
+//!
+//! * [`Machine::start`] — the job begins execution now;
+//! * [`Machine::hold`] — the job keeps its nodes but does not run (hold
+//!   scheme): the nodes are busy to everyone else;
+//! * [`Machine::yield_job`] — the job gives its nodes back and is skipped
+//!   for the rest of this iteration (yield scheme), letting the scheduler
+//!   try other jobs.
+//!
+//! Held jobs can later be started in place ([`Machine::start_held`], when
+//! the mate becomes ready) or forced back to the queue
+//! ([`Machine::release_held`], the deadlock breaker), in the latter case
+//! demoted to the lowest priority for the scheduling instant, per §IV-E1.
+//!
+//! Without coscheduling the driver simply starts every candidate, which
+//! makes `Machine` a complete stand-alone WFP/FCFS + EASY-backfilling
+//! simulator — the no-coscheduling baselines of Figs. 3–10 run exactly
+//! that code path.
+
+use crate::alloc::{AllocHandle, AllocatorKind, NodeAllocator};
+use crate::backfill::{compute_shadow, ProjectedRelease, Shadow};
+use crate::policy::{order_queue, PolicyKind};
+use crate::predict::{PredictorKind, WalltimePredictor};
+use cosched_metrics::JobRecord;
+use cosched_sim::{SimDuration, SimTime};
+use cosched_workload::{Job, JobId, MachineId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Static machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Domain id within the coupled system.
+    pub machine: MachineId,
+    /// Schedulable nodes.
+    pub capacity: u64,
+    /// Allocation discipline.
+    pub allocator: AllocatorKind,
+    /// Queue policy.
+    pub policy: PolicyKind,
+    /// EASY backfilling on/off.
+    pub backfill: bool,
+    /// Additive priority per yield (the §IV-E2 boost enhancement; 0 = off).
+    pub yield_priority_boost: f64,
+    /// Walltime predictor used for backfill planning (the paper's
+    /// reference 31, Tsafrir et al.).
+    pub predictor: PredictorKind,
+}
+
+impl MachineConfig {
+    /// Intrepid: 40,960-node Blue Gene/P, buddy partitions of 512-node
+    /// midplanes, WFP + backfilling (the paper's §V-A configuration).
+    pub fn intrepid(machine: MachineId) -> Self {
+        MachineConfig {
+            name: "Intrepid".to_string(),
+            machine,
+            capacity: 40_960,
+            allocator: AllocatorKind::Buddy { unit: 512 },
+            policy: PolicyKind::Wfp,
+            backfill: true,
+            yield_priority_boost: 0.0,
+            predictor: PredictorKind::UserEstimate,
+        }
+    }
+
+    /// Eureka: 100-node analysis cluster, flat allocation, WFP +
+    /// backfilling.
+    pub fn eureka(machine: MachineId) -> Self {
+        MachineConfig {
+            name: "Eureka".to_string(),
+            machine,
+            capacity: 100,
+            allocator: AllocatorKind::Flat,
+            policy: PolicyKind::Wfp,
+            backfill: true,
+            yield_priority_boost: 0.0,
+            predictor: PredictorKind::UserEstimate,
+        }
+    }
+
+    /// A generic flat cluster, for tests and examples.
+    pub fn flat(name: impl Into<String>, machine: MachineId, capacity: u64) -> Self {
+        MachineConfig {
+            name: name.into(),
+            machine,
+            capacity,
+            allocator: AllocatorKind::Flat,
+            policy: PolicyKind::Fcfs,
+            backfill: true,
+            yield_priority_boost: 0.0,
+            predictor: PredictorKind::UserEstimate,
+        }
+    }
+}
+
+/// Lifecycle stage of a job, as visible to the coordination protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Never submitted here (or unknown id).
+    Unsubmitted,
+    /// Waiting in the queue.
+    Queued,
+    /// Ready with nodes allocated, waiting for its mate (hold scheme).
+    Held,
+    /// Executing.
+    Running,
+    /// Completed.
+    Finished,
+}
+
+/// A ready job handed to the coscheduling layer: nodes are tentatively
+/// allocated; exactly one of `start` / `hold` / `yield_job` must follow.
+#[derive(Debug)]
+#[must_use = "a candidate's allocation is committed by start/hold/yield_job"]
+pub struct Candidate {
+    /// The ready job.
+    pub job_id: JobId,
+    /// Nodes requested.
+    pub size: u64,
+    /// Nodes actually charged by the allocator (≥ size under partitioning).
+    pub charged: u64,
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: Job,
+    first_ready: Option<SimTime>,
+    yields: u32,
+    holds: u32,
+    start: Option<SimTime>,
+    alloc: Option<AllocHandle>,
+    charged: u64,
+    hold_since: Option<SimTime>,
+    demoted_at: Option<SimTime>,
+    status: JobStatus,
+}
+
+/// The resource manager for one scheduling domain.
+pub struct Machine {
+    config: MachineConfig,
+    allocator: Box<dyn NodeAllocator>,
+    states: HashMap<JobId, JobState>,
+    queued: Vec<JobId>,
+    held: Vec<JobId>,
+    running: Vec<JobId>,
+    finished: Vec<JobRecord>,
+    skip: HashSet<JobId>,
+    pending: Option<JobId>,
+    held_ledger: u64,
+    predictor: Box<dyn WalltimePredictor>,
+    predictions: HashMap<JobId, SimDuration>,
+    /// Policy order computed lazily once per iteration (scores are fixed
+    /// within an iteration because `now` is fixed).
+    iter_order: Option<Vec<JobId>>,
+    /// Walk position in `iter_order`. A cursor is semantically equivalent
+    /// to rescanning from the top: a yield returns exactly the nodes it
+    /// took for this pick, so a job that was blocked earlier in the walk
+    /// can never newly fit later in the same iteration — and it turns the
+    /// iteration from O(picks × q log q) into O(q log q).
+    iter_cursor: usize,
+    /// Head-job reservation discovered during this iteration's walk.
+    iter_shadow: Option<Shadow>,
+}
+
+impl Machine {
+    /// Instantiate from a config.
+    pub fn new(config: MachineConfig) -> Self {
+        let allocator = config.allocator.build(config.capacity);
+        let predictor = config.predictor.build();
+        Machine {
+            config,
+            allocator,
+            states: HashMap::new(),
+            queued: Vec::new(),
+            held: Vec::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            skip: HashSet::new(),
+            pending: None,
+            held_ledger: 0,
+            predictor,
+            predictions: HashMap::new(),
+            iter_order: None,
+            iter_cursor: 0,
+            iter_shadow: None,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Enqueue a job at `now`.
+    ///
+    /// # Panics
+    /// Panics on duplicate submission or a job addressed to another machine.
+    pub fn submit(&mut self, job: Job, now: SimTime) {
+        assert_eq!(job.machine, self.config.machine, "job {} submitted to wrong machine", job.id);
+        assert!(job.submit <= now, "job {} submitted before its submit time", job.id);
+        let id = job.id;
+        let predicted = self.predictor.predict(&job);
+        self.predictions.insert(id, predicted);
+        let prev = self.states.insert(
+            id,
+            JobState {
+                job,
+                first_ready: None,
+                yields: 0,
+                holds: 0,
+                start: None,
+                alloc: None,
+                charged: 0,
+                hold_since: None,
+                demoted_at: None,
+                status: JobStatus::Queued,
+            },
+        );
+        assert!(prev.is_none(), "duplicate submission of job {id}");
+        self.queued.push(id);
+    }
+
+    /// Begin a scheduling iteration: clears the per-iteration yield skip
+    /// set.
+    pub fn begin_iteration(&mut self) {
+        assert!(self.pending.is_none(), "iteration started with a candidate outstanding");
+        self.skip.clear();
+        self.iter_order = None;
+        self.iter_cursor = 0;
+        self.iter_shadow = None;
+    }
+
+    /// Select the next ready job under the policy, with EASY backfilling.
+    /// Allocates its nodes tentatively; the caller must commit via
+    /// [`Machine::start`], [`Machine::hold`], or [`Machine::yield_job`]
+    /// before picking again.
+    pub fn pick_next(&mut self, now: SimTime) -> Option<Candidate> {
+        assert!(self.pending.is_none(), "previous candidate not committed");
+        if self.iter_order.is_none() {
+            let views: Vec<(&Job, f64)> = self
+                .queued
+                .iter()
+                .map(|id| {
+                    let st = &self.states[id];
+                    (&st.job, st.yields as f64 * self.config.yield_priority_boost)
+                })
+                .collect();
+            let demoted_ids: HashSet<JobId> = self
+                .queued
+                .iter()
+                .filter(|id| self.states[id].demoted_at == Some(now))
+                .copied()
+                .collect();
+            let order = order_queue(self.config.policy, now, &views, &|j| demoted_ids.contains(&j.id));
+            self.iter_order = Some(order.into_iter().map(|idx| self.queued[idx]).collect());
+            self.iter_cursor = 0;
+            self.iter_shadow = None;
+        }
+        while self.iter_cursor < self.iter_order.as_ref().expect("set above").len() {
+            let id = self.iter_order.as_ref().expect("set above")[self.iter_cursor];
+            self.iter_cursor += 1;
+            if self.skip.contains(&id) || self.states.get(&id).map(|st| st.status) != Some(JobStatus::Queued) {
+                continue;
+            }
+            let size = self.states[&id].job.size;
+            let planned = self.planned_runtime(id);
+            let fits = self.allocator.can_fit(size);
+            let admitted = match self.iter_shadow {
+                None => fits,
+                Some(s) => fits && self.config.backfill && s.admits(self.allocator.charged_nodes(size), now + planned),
+            };
+            if admitted {
+                let handle = self.allocator.alloc(size).expect("can_fit implies alloc succeeds");
+                let charged = self.allocator.charged_nodes(size);
+                let st = self.states.get_mut(&id).expect("queued job has state");
+                st.alloc = Some(handle);
+                st.charged = charged;
+                st.first_ready.get_or_insert(now);
+                let pos = self.queued.iter().position(|&q| q == id).expect("queued");
+                self.queued.remove(pos);
+                self.pending = Some(id);
+                return Some(Candidate { job_id: id, size, charged });
+            }
+            if self.iter_shadow.is_none() {
+                // Head job that does not fit: reserve and (maybe) backfill.
+                if !self.config.backfill {
+                    self.iter_cursor = usize::MAX;
+                    return None;
+                }
+                self.iter_shadow = Some(self.shadow_for(size, now));
+            }
+        }
+        None
+    }
+
+    /// Planning-time runtime estimate for queued job `id`: the predictor's
+    /// output, capped below by nothing (a job always runs its true runtime;
+    /// planning optimism is acceptable, as in real predictive backfilling).
+    fn planned_runtime(&self, id: JobId) -> SimDuration {
+        self.predictions
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| self.states[&id].job.walltime)
+    }
+
+    fn shadow_for(&self, head_size: u64, now: SimTime) -> Shadow {
+        let releases: Vec<ProjectedRelease> = self
+            .running
+            .iter()
+            .map(|id| {
+                let st = &self.states[id];
+                ProjectedRelease {
+                    // Plan against the predicted runtime, never shorter
+                    // than what the job has already consumed plus a beat.
+                    end: (st.start.expect("running implies started")
+                        + self.predictions.get(id).copied().unwrap_or(st.job.walltime))
+                    .max(now + cosched_sim::SECOND),
+                    nodes: st.charged,
+                }
+            })
+            .collect();
+        let charged = self.allocator.charged_nodes(head_size);
+        let free = self.allocator.free_nodes();
+        let shadow = compute_shadow(charged, free, &releases);
+        if charged <= free {
+            // The head job fits by count but not by partition alignment
+            // (fragmentation). A count-based reservation is meaningless
+            // here — backfill streaming past it would starve large
+            // partition jobs forever. Drain instead: admit only jobs that
+            // finish before the next completion, the earliest instant
+            // coalescing can give the head its aligned block (what BG/P
+            // operators call draining for a big partition).
+            //
+            // Exception: while coscheduling holds block nodes, the machine
+            // layout is about to be rearranged by the release sweep anyway;
+            // draining behind a hold-induced blockage would idle the
+            // machine for no benefit (the head gets its block when the
+            // sweep demotes the holders, not when running jobs coalesce).
+            if self.held_nodes() > 0 {
+                return Shadow { time: SimTime::MAX, spare: u64::MAX };
+            }
+            let next_end = releases.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
+            return Shadow { time: next_end, spare: 0 };
+        }
+        shadow
+    }
+
+    fn commit_check(&mut self, cand: &Candidate) {
+        assert_eq!(self.pending, Some(cand.job_id), "commit of a stale candidate {:?}", cand.job_id);
+        self.pending = None;
+    }
+
+    /// Start a ready candidate now. Returns the completion instant for the
+    /// caller to schedule the end event.
+    pub fn start(&mut self, cand: Candidate, now: SimTime) -> SimTime {
+        self.commit_check(&cand);
+        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        st.start = Some(now);
+        st.status = JobStatus::Running;
+        self.running.push(cand.job_id);
+        now + st.job.runtime
+    }
+
+    /// Put a ready candidate into hold: it keeps its allocation, blocking
+    /// those nodes, until [`Machine::start_held`] or
+    /// [`Machine::release_held`].
+    pub fn hold(&mut self, cand: Candidate, now: SimTime) {
+        self.commit_check(&cand);
+        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        st.holds += 1;
+        st.hold_since = Some(now);
+        st.status = JobStatus::Held;
+        self.held.push(cand.job_id);
+    }
+
+    /// Yield a ready candidate: release its nodes, requeue it, and skip it
+    /// for the remainder of this iteration so other jobs get a chance.
+    pub fn yield_job(&mut self, cand: Candidate, _now: SimTime) {
+        self.commit_check(&cand);
+        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        let handle = st.alloc.take().expect("candidate holds an allocation");
+        st.charged = 0;
+        st.yields += 1;
+        st.status = JobStatus::Queued;
+        self.allocator.release(handle);
+        self.skip.insert(cand.job_id);
+        self.queued.push(cand.job_id);
+    }
+
+    /// Start a held job in place (its mate became ready). Returns the
+    /// completion instant, or `None` if the job is not held.
+    pub fn start_held(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
+        let pos = self.held.iter().position(|&h| h == id)?;
+        self.held.remove(pos);
+        let st = self.states.get_mut(&id).expect("held job has state");
+        let since = st.hold_since.take().expect("held job has hold_since");
+        self.held_ledger += st.charged * (now - since).as_secs();
+        st.start = Some(now);
+        st.status = JobStatus::Running;
+        self.running.push(id);
+        Some(now + st.job.runtime)
+    }
+
+    /// Force a held job to release its nodes and requeue (the §IV-E1
+    /// deadlock breaker). The job is demoted to lowest priority for
+    /// scheduling decisions taken at this instant. Returns `false` if the
+    /// job is not held.
+    pub fn release_held(&mut self, id: JobId, now: SimTime) -> bool {
+        let Some(pos) = self.held.iter().position(|&h| h == id) else {
+            return false;
+        };
+        self.held.remove(pos);
+        let st = self.states.get_mut(&id).expect("held job has state");
+        let since = st.hold_since.take().expect("held job has hold_since");
+        self.held_ledger += st.charged * (now - since).as_secs();
+        let handle = st.alloc.take().expect("held job holds an allocation");
+        st.charged = 0;
+        st.demoted_at = Some(now);
+        st.status = JobStatus::Queued;
+        self.allocator.release(handle);
+        self.queued.push(id);
+        true
+    }
+
+    /// Attempt to start a *queued* job right now — the remote
+    /// `try_start_mate` RPC (Algorithm 1, line 12), which "invokes an
+    /// additional scheduling iteration" on this machine for the mate's
+    /// benefit. The mate gets no queue-jumping privilege: it starts only if
+    /// a regular scheduling iteration could have started it, i.e. it fits
+    /// and it does not delay the highest-priority queued job (the same
+    /// admission rule backfilling applies). Returns the completion instant
+    /// on success.
+    pub fn try_start_direct(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
+        let pos = self.queued.iter().position(|&q| q == id)?;
+        let handle = self.admit_direct(id, now)?;
+        let charged = self.allocator.charged_nodes(self.states[&id].job.size);
+        let st = self.states.get_mut(&id).expect("queued job has state");
+        st.alloc = Some(handle);
+        st.charged = charged;
+        st.first_ready.get_or_insert(now);
+        st.start = Some(now);
+        st.status = JobStatus::Running;
+        let end = now + st.job.runtime;
+        self.queued.remove(pos);
+        self.running.push(id);
+        Some(end)
+    }
+
+    /// Non-committing version of [`Machine::try_start_direct`]: would the
+    /// job be admitted right now? Used by N-way rendezvous to check every
+    /// group member before starting any. (Takes `&mut self` because
+    /// partition admission needs a trial allocation, which is immediately
+    /// released.)
+    pub fn can_start_direct(&mut self, id: JobId, now: SimTime) -> bool {
+        match self.admit_direct(id, now) {
+            Some(handle) => {
+                self.allocator.release(handle);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shared admission logic: allocate nodes for a direct (out-of-
+    /// iteration) start of queued job `id` if a regular scheduling
+    /// iteration could have started it. Returns the allocation on success;
+    /// the caller either commits it or releases it.
+    fn admit_direct(&mut self, id: JobId, now: SimTime) -> Option<AllocHandle> {
+        if self.pending.is_some() {
+            // Mid-iteration re-entrance cannot happen in the simulator (the
+            // driver serialises RPCs between pick/commit), but guard anyway.
+            return None;
+        }
+        self.queued.iter().position(|&q| q == id)?;
+        let size = self.states[&id].job.size;
+        if !self.allocator.can_fit(size) {
+            return None;
+        }
+        // Identify the policy head among queued jobs.
+        let views: Vec<(&Job, f64)> = self
+            .queued
+            .iter()
+            .map(|qid| {
+                let st = &self.states[qid];
+                (&st.job, st.yields as f64 * self.config.yield_priority_boost)
+            })
+            .collect();
+        let demoted_ids: std::collections::HashSet<JobId> = self
+            .queued
+            .iter()
+            .filter(|qid| self.states[qid].demoted_at == Some(now))
+            .copied()
+            .collect();
+        let order = order_queue(self.config.policy, now, &views, &|j| demoted_ids.contains(&j.id));
+        let head = self.queued[order[0]];
+
+        let handle = if head == id {
+            self.allocator.alloc(size).expect("can_fit implies alloc")
+        } else {
+            if !self.config.backfill {
+                return None;
+            }
+            let head_size = self.states[&head].job.size;
+            if self.allocator.can_fit(head_size) {
+                // The head could start right now; the mate may slip in only
+                // if the head remains startable afterwards.
+                let handle = self.allocator.alloc(size).expect("can_fit implies alloc");
+                if self.allocator.can_fit(head_size) {
+                    handle
+                } else {
+                    self.allocator.release(handle);
+                    return None;
+                }
+            } else {
+                // Head is blocked: honour its reservation like any
+                // backfill candidate.
+                let shadow = self.shadow_for(head_size, now);
+                let planned = self.planned_runtime(id);
+                if !shadow.admits(self.allocator.charged_nodes(size), now + planned) {
+                    return None;
+                }
+                self.allocator.alloc(size).expect("can_fit implies alloc")
+            }
+        };
+        Some(handle)
+    }
+
+    /// Complete a running job: release nodes and append its
+    /// [`JobRecord`].
+    ///
+    /// # Panics
+    /// Panics if the job is not running (an end event for a job in any other
+    /// state is a driver bug).
+    pub fn finish(&mut self, id: JobId, now: SimTime) {
+        let pos = self
+            .running
+            .iter()
+            .position(|&r| r == id)
+            .unwrap_or_else(|| panic!("finish of non-running job {id}"));
+        self.running.remove(pos);
+        let st = self.states.get_mut(&id).expect("running job has state");
+        let handle = st.alloc.take().expect("running job holds an allocation");
+        self.allocator.release(handle);
+        st.status = JobStatus::Finished;
+        let start = st.start.expect("running implies started");
+        self.predictor.observe(&st.job, st.job.runtime);
+        self.predictions.remove(&id);
+        self.finished.push(JobRecord {
+            id,
+            machine: self.config.machine,
+            size: st.job.size,
+            submit: st.job.submit,
+            start,
+            end: now,
+            runtime: st.job.runtime,
+            walltime: st.job.walltime,
+            paired: st.job.is_paired(),
+            first_ready: st.first_ready,
+            yields: st.yields,
+            holds: st.holds,
+        });
+    }
+
+    /// Lifecycle stage of `id` as seen by the protocol.
+    pub fn status(&self, id: JobId) -> JobStatus {
+        self.states.get(&id).map_or(JobStatus::Unsubmitted, |st| st.status)
+    }
+
+    /// The job object, if submitted here.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.states.get(&id).map(|st| &st.job)
+    }
+
+    /// Number of yields job `id` has performed so far.
+    pub fn yields_of(&self, id: JobId) -> u32 {
+        self.states.get(&id).map_or(0, |st| st.yields)
+    }
+
+    /// When job `id` started, if it has (running or finished).
+    pub fn start_of(&self, id: JobId) -> Option<SimTime> {
+        self.states.get(&id).and_then(|st| st.start)
+    }
+
+    /// When job `id` entered its current hold episode, if it is held.
+    /// Drivers use this to discard stale hold-release timers: a timer armed
+    /// for an earlier episode no longer matches.
+    pub fn hold_since(&self, id: JobId) -> Option<SimTime> {
+        self.states.get(&id).and_then(|st| st.hold_since)
+    }
+
+    /// Currently held job ids, in hold order.
+    pub fn held_jobs(&self) -> &[JobId] {
+        &self.held
+    }
+
+    /// Currently queued job ids (unsorted; policy order is computed per
+    /// iteration).
+    pub fn queued_jobs(&self) -> &[JobId] {
+        &self.queued
+    }
+
+    /// Currently running job ids.
+    pub fn running_jobs(&self) -> &[JobId] {
+        &self.running
+    }
+
+    /// Completed-job records so far.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.finished
+    }
+
+    /// Drain the completed-job records.
+    pub fn take_records(&mut self) -> Vec<JobRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Nodes currently blocked by held jobs (allocator-charged).
+    pub fn held_nodes(&self) -> u64 {
+        self.held.iter().map(|id| self.states[id].charged).sum()
+    }
+
+    /// Fraction of capacity currently blocked by holds, in `[0, 1]`.
+    pub fn held_fraction(&self) -> f64 {
+        self.held_nodes() as f64 / self.config.capacity as f64
+    }
+
+    /// Total node-seconds lost to holding up to `now`, including holds still
+    /// in progress — the paper's *service-unit loss* numerator.
+    pub fn held_node_seconds(&self, now: SimTime) -> u64 {
+        let ongoing: u64 = self
+            .held
+            .iter()
+            .map(|id| {
+                let st = &self.states[id];
+                st.charged * (now - st.hold_since.expect("held job has hold_since")).as_secs()
+            })
+            .sum();
+        self.held_ledger + ongoing
+    }
+
+    /// Free nodes right now.
+    pub fn free_nodes(&self) -> u64 {
+        self.allocator.free_nodes()
+    }
+
+    /// Whether the allocator could satisfy a request of `size` nodes right
+    /// now (accounts for partition fragmentation, unlike a raw count).
+    pub fn can_fit(&self, size: u64) -> bool {
+        self.allocator.can_fit(size)
+    }
+
+    /// Whether all submitted jobs have finished.
+    pub fn drained(&self) -> bool {
+        self.queued.is_empty() && self.held.is_empty() && self.running.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn job(id: u64, submit: u64, size: u64, runtime: u64, walltime: u64) -> Job {
+        Job::new(
+            JobId(id),
+            MachineId(0),
+            t(submit),
+            size,
+            SimDuration::from_secs(runtime),
+            SimDuration::from_secs(walltime),
+        )
+    }
+
+    fn machine(capacity: u64) -> Machine {
+        Machine::new(MachineConfig::flat("test", MachineId(0), capacity))
+    }
+
+    #[test]
+    fn fcfs_starts_in_order() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 60, 100, 100), t(0));
+        m.submit(job(2, 1, 60, 100, 100), t(1));
+        m.begin_iteration();
+        let c = m.pick_next(t(1)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        let end = m.start(c, t(1));
+        assert_eq!(end, t(101));
+        // Job 2 does not fit (60+60 > 100) and cannot backfill (no spare).
+        assert!(m.pick_next(t(1)).is_none());
+        m.finish(JobId(1), t(101));
+        m.begin_iteration();
+        let c = m.pick_next(t(101)).unwrap();
+        assert_eq!(c.job_id, JobId(2));
+        let _ = m.start(c, t(101));
+    }
+
+    #[test]
+    fn backfill_small_short_job_around_reservation() {
+        let mut m = machine(100);
+        // Running job occupies 80 nodes until t=1000 (walltime).
+        m.submit(job(1, 0, 80, 1_000, 1_000), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        let _ = m.start(c, t(0));
+        // Head job needs 50 → shadow at t=1000 with spare 100-50=... free at
+        // shadow = 20+80=100, spare = 50.
+        m.submit(job(2, 10, 50, 500, 500), t(10));
+        // Backfill candidate: 20 nodes, walltime 400 → ends before shadow
+        // AND fits spare.
+        m.submit(job(3, 20, 20, 400, 400), t(20));
+        m.begin_iteration();
+        let c = m.pick_next(t(20)).unwrap();
+        assert_eq!(c.job_id, JobId(3), "short small job backfills");
+        let _ = m.start(c, t(20));
+        assert!(m.pick_next(t(20)).is_none());
+    }
+
+    #[test]
+    fn backfill_rejects_job_that_would_delay_head() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 80, 1_000, 1_000), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        let _ = m.start(c, t(0));
+        m.submit(job(2, 10, 90, 500, 500), t(10)); // head: shadow t=1000, spare 10
+        m.submit(job(3, 20, 20, 5_000, 5_000), t(20)); // too long, too big for spare
+        m.begin_iteration();
+        assert!(m.pick_next(t(20)).is_none());
+    }
+
+    #[test]
+    fn no_backfill_config_blocks_queue_behind_head() {
+        let mut cfg = MachineConfig::flat("strict", MachineId(0), 100);
+        cfg.backfill = false;
+        let mut m = Machine::new(cfg);
+        m.submit(job(1, 0, 80, 1_000, 1_000), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        let _ = m.start(c, t(0));
+        m.submit(job(2, 10, 90, 500, 500), t(10));
+        m.submit(job(3, 20, 1, 10, 10), t(20));
+        m.begin_iteration();
+        assert!(m.pick_next(t(20)).is_none(), "strict FCFS: nothing passes the head");
+    }
+
+    #[test]
+    fn hold_blocks_nodes_and_start_held_runs() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 60, 100, 100), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        m.hold(c, t(0));
+        assert_eq!(m.status(JobId(1)), JobStatus::Held);
+        assert_eq!(m.held_nodes(), 60);
+        assert_eq!(m.free_nodes(), 40);
+        // A 50-node job cannot start while the hold blocks 60.
+        m.submit(job(2, 1, 50, 100, 100), t(1));
+        m.begin_iteration();
+        assert!(m.pick_next(t(1)).is_none());
+        // Mate ready at t=30: start in place; ledger = 60 × 30.
+        assert_eq!(m.held_node_seconds(t(30)), 1_800);
+        let end = m.start_held(JobId(1), t(30)).unwrap();
+        assert_eq!(end, t(130));
+        assert_eq!(m.held_node_seconds(t(999)), 1_800, "ledger frozen after start");
+        m.finish(JobId(1), t(130));
+        let rec = &m.records()[0];
+        assert_eq!(rec.holds, 1);
+        assert_eq!(rec.start, t(30));
+        assert_eq!(rec.first_ready, Some(t(0)));
+        assert_eq!(rec.sync_time(), SimDuration::ZERO, "unpaired job has no sync time");
+    }
+
+    #[test]
+    fn yield_releases_nodes_and_skips_for_iteration() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 60, 100, 100), t(0));
+        m.submit(job(2, 1, 60, 100, 100), t(1));
+        m.begin_iteration();
+        let c = m.pick_next(t(1)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        m.yield_job(c, t(1));
+        assert_eq!(m.free_nodes(), 100);
+        assert_eq!(m.status(JobId(1)), JobStatus::Queued);
+        // Same iteration: job 2 gets the chance instead.
+        let c = m.pick_next(t(1)).unwrap();
+        assert_eq!(c.job_id, JobId(2));
+        let _ = m.start(c, t(1));
+        assert!(m.pick_next(t(1)).is_none());
+        // Next iteration: job 1 is eligible again (but doesn't fit).
+        m.begin_iteration();
+        assert!(m.pick_next(t(1)).is_none());
+        assert_eq!(m.yields_of(JobId(1)), 1);
+    }
+
+    #[test]
+    fn release_held_demotes_for_that_instant() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 60, 100, 100), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        m.hold(c, t(0));
+        m.submit(job(2, 1, 60, 100, 100), t(1));
+        assert!(m.release_held(JobId(1), t(50)));
+        assert_eq!(m.free_nodes(), 100);
+        // At the release instant, job 1 (earlier submit, FCFS would favour
+        // it) sorts last: job 2 wins.
+        m.begin_iteration();
+        let c = m.pick_next(t(50)).unwrap();
+        assert_eq!(c.job_id, JobId(2));
+        let _ = m.start(c, t(50));
+        // Ledger accrued 60 nodes × 50 s.
+        assert_eq!(m.held_node_seconds(t(50)), 3_000);
+        // After time advances the demotion expires.
+        m.finish(JobId(2), t(101));
+        m.begin_iteration();
+        let c = m.pick_next(t(101)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        let _ = m.start(c, t(101));
+    }
+
+    #[test]
+    fn release_held_of_non_held_is_false() {
+        let mut m = machine(10);
+        assert!(!m.release_held(JobId(9), t(0)));
+        m.submit(job(1, 0, 5, 10, 10), t(0));
+        assert!(!m.release_held(JobId(1), t(0)));
+    }
+
+    #[test]
+    fn try_start_direct_requires_fit() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 80, 100, 100), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        let _ = m.start(c, t(0));
+        m.submit(job(2, 1, 50, 100, 100), t(1));
+        assert!(m.try_start_direct(JobId(2), t(1)).is_none(), "no room");
+        m.finish(JobId(1), t(100));
+        let end = m.try_start_direct(JobId(2), t(100)).unwrap();
+        assert_eq!(end, t(200));
+        assert_eq!(m.status(JobId(2)), JobStatus::Running);
+        assert!(m.try_start_direct(JobId(2), t(100)).is_none(), "not queued anymore");
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        let mut m = machine(10);
+        assert_eq!(m.status(JobId(1)), JobStatus::Unsubmitted);
+        m.submit(job(1, 0, 5, 10, 10), t(0));
+        assert_eq!(m.status(JobId(1)), JobStatus::Queued);
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        let _ = m.start(c, t(0));
+        assert_eq!(m.status(JobId(1)), JobStatus::Running);
+        m.finish(JobId(1), t(10));
+        assert_eq!(m.status(JobId(1)), JobStatus::Finished);
+        assert!(m.drained());
+    }
+
+    #[test]
+    fn record_captures_wait_and_ready() {
+        let mut m = machine(10);
+        m.submit(job(1, 0, 10, 50, 50), t(0));
+        m.submit(job(2, 5, 10, 50, 50), t(5));
+        m.begin_iteration();
+        let c = m.pick_next(t(5)).unwrap();
+        let _ = m.start(c, t(5));
+        m.finish(JobId(1), t(55));
+        m.begin_iteration();
+        let c = m.pick_next(t(55)).unwrap();
+        let _ = m.start(c, t(55));
+        m.finish(JobId(2), t(105));
+        let r2 = m.records().iter().find(|r| r.id == JobId(2)).unwrap();
+        assert_eq!(r2.wait(), SimDuration::from_secs(50));
+        assert_eq!(r2.first_ready, Some(t(55)));
+    }
+
+    #[test]
+    #[should_panic(expected = "previous candidate not committed")]
+    fn double_pick_without_commit_panics() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 10, 10, 10), t(0));
+        m.submit(job(2, 0, 10, 10, 10), t(0));
+        m.begin_iteration();
+        let _c1 = m.pick_next(t(0));
+        let _c2 = m.pick_next(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong machine")]
+    fn submit_to_wrong_machine_panics() {
+        let mut m = machine(10);
+        let mut j = job(1, 0, 5, 10, 10);
+        j.machine = MachineId(3);
+        m.submit(j, t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate submission")]
+    fn duplicate_submit_panics() {
+        let mut m = machine(10);
+        m.submit(job(1, 0, 5, 10, 10), t(0));
+        m.submit(job(1, 0, 5, 10, 10), t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-running job")]
+    fn finish_queued_job_panics() {
+        let mut m = machine(10);
+        m.submit(job(1, 0, 5, 10, 10), t(0));
+        m.finish(JobId(1), t(5));
+    }
+
+    #[test]
+    fn buddy_machine_respects_partitioning() {
+        let mut m = Machine::new(MachineConfig {
+            name: "bgp".into(),
+            machine: MachineId(0),
+            capacity: 2_048,
+            allocator: AllocatorKind::Buddy { unit: 512 },
+            policy: PolicyKind::Fcfs,
+            backfill: true,
+            yield_priority_boost: 0.0,
+            predictor: PredictorKind::UserEstimate,
+        });
+        // 600-node job charges a 1024-node partition.
+        m.submit(job(1, 0, 600, 100, 100), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        assert_eq!(c.charged, 1_024);
+        let _ = m.start(c, t(0));
+        assert_eq!(m.free_nodes(), 1_024);
+        // Another 600-node job still fits (second 1024 partition)…
+        m.submit(job(2, 1, 600, 100, 100), t(1));
+        m.begin_iteration();
+        let c = m.pick_next(t(1)).unwrap();
+        let _ = m.start(c, t(1));
+        // …but now a 512-node job cannot, despite size < nominal free.
+        assert_eq!(m.free_nodes(), 0);
+        m.submit(job(3, 2, 512, 100, 100), t(2));
+        m.begin_iteration();
+        assert!(m.pick_next(t(2)).is_none());
+    }
+
+    #[test]
+    fn wfp_machine_prefers_big_patient_jobs() {
+        let mut cfg = MachineConfig::flat("wfp", MachineId(0), 1_000);
+        cfg.policy = PolicyKind::Wfp;
+        let mut m = Machine::new(cfg);
+        m.submit(job(1, 0, 10, 100, 1_000), t(0));
+        m.submit(job(2, 0, 900, 100, 1_000), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(500)).unwrap();
+        assert_eq!(c.job_id, JobId(2), "same relative wait → size wins");
+        let _ = m.start(c, t(500));
+    }
+
+    #[test]
+    fn held_fraction_tracks_capacity_share() {
+        let mut m = machine(100);
+        m.submit(job(1, 0, 25, 100, 100), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        m.hold(c, t(0));
+        assert!((m.held_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yield_boost_reorders_queue() {
+        let mut cfg = MachineConfig::flat("boost", MachineId(0), 100);
+        cfg.yield_priority_boost = 1e9;
+        let mut m = Machine::new(cfg);
+        m.submit(job(1, 0, 60, 100, 100), t(0));
+        m.submit(job(2, 0, 60, 100, 100), t(0));
+        // Yield job 1 once.
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        m.yield_job(c, t(0));
+        let c = m.pick_next(t(0)).unwrap();
+        assert_eq!(c.job_id, JobId(2));
+        m.yield_job(c, t(0));
+        // Fresh iteration at a later instant: job 1's boost (1 yield) beats
+        // job 2's equal-submit FCFS tie... both yielded once; tie again by
+        // id. Yield job1 once more to test the boost requires an extra run.
+        m.begin_iteration();
+        let c = m.pick_next(t(1)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        m.yield_job(c, t(1));
+        // job 1 now has 2 yields vs job 2's 1: next iteration job 1 first
+        // even if job 2 would tie otherwise.
+        m.begin_iteration();
+        let c = m.pick_next(t(2)).unwrap();
+        assert_eq!(c.job_id, JobId(1));
+        let _ = m.start(c, t(2));
+    }
+}

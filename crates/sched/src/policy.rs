@@ -1,0 +1,206 @@
+//! Queue-ordering policies.
+//!
+//! The production machines in the paper run **WFP** plus backfilling; the
+//! paper also names **FCFS** as the common alternative whose
+//! priority-increases-with-time property guarantees yield-yield liveness
+//! (§IV-D2). SJF is included for ablation studies.
+//!
+//! A policy maps a queued job's observable state to a score; the scheduler
+//! considers jobs in descending score order. Ties break by submission order
+//! (then id), keeping iterations deterministic.
+
+use cosched_sim::{SimDuration, SimTime};
+use cosched_workload::Job;
+use serde::{Deserialize, Serialize};
+
+/// Selectable queue policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First-come first-served: score is time in queue.
+    Fcfs,
+    /// The WFP utility used on Intrepid: `(wait / walltime)³ × size`.
+    /// Favours jobs that have waited long relative to their requested
+    /// walltime, weighted toward bigger jobs.
+    Wfp,
+    /// Shortest job first (by requested walltime); ablation baseline.
+    Sjf,
+}
+
+/// Observable state the policy scores.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedView<'a> {
+    /// The job being scored.
+    pub job: &'a Job,
+    /// Current time.
+    pub now: SimTime,
+    /// Additive priority boost (the per-yield boost enhancement of §IV-E2;
+    /// zero when the enhancement is off).
+    pub boost: f64,
+}
+
+impl PolicyKind {
+    /// Score a queued job; higher runs earlier.
+    pub fn score(self, view: QueuedView<'_>) -> f64 {
+        let wait = (view.now - view.job.submit).as_secs() as f64;
+        let base = match self {
+            PolicyKind::Fcfs => wait,
+            PolicyKind::Wfp => {
+                let walltime = view.job.walltime.as_secs().max(1) as f64;
+                let r = wait / walltime;
+                r * r * r * view.job.size as f64
+            }
+            PolicyKind::Sjf => {
+                // Shorter walltime → larger score.
+                1.0 / view.job.walltime.as_secs().max(1) as f64
+            }
+        };
+        base + view.boost
+    }
+
+    /// Whether the policy's score is strictly increasing in waiting time for
+    /// every job. Policies with this property guarantee that yield-yield
+    /// coscheduling cannot starve (§IV-D2: jobs "will eventually get the
+    /// highest priority on their respective machine if job priority
+    /// increases by time").
+    pub fn priority_grows_with_wait(self) -> bool {
+        match self {
+            PolicyKind::Fcfs | PolicyKind::Wfp => true,
+            PolicyKind::Sjf => false,
+        }
+    }
+}
+
+/// Sort `jobs` (with their boosts) into scheduling order under `policy`:
+/// descending score, ties by `(submit, id)`. `demoted` ids sort after
+/// everything else (the deadlock-breaker demotion of §IV-E1).
+pub fn order_queue(
+    policy: PolicyKind,
+    now: SimTime,
+    jobs: &[(&Job, f64)],
+    demoted: &dyn Fn(&Job) -> bool,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..jobs.len()).collect();
+    let scores: Vec<f64> = jobs
+        .iter()
+        .map(|&(job, boost)| policy.score(QueuedView { job, now, boost }))
+        .collect();
+    idx.sort_by(|&a, &b| {
+        let (ja, jb) = (jobs[a].0, jobs[b].0);
+        demoted(ja)
+            .cmp(&demoted(jb))
+            .then_with(|| scores[b].partial_cmp(&scores[a]).expect("scores are finite"))
+            .then_with(|| ja.submit.cmp(&jb.submit))
+            .then_with(|| ja.id.cmp(&jb.id))
+    });
+    idx
+}
+
+/// Convenience: a policy-scored wait of `wait` seconds for a job of
+/// `walltime` and `size` under WFP, used in tests and docs.
+pub fn wfp_score(wait: SimDuration, walltime: SimDuration, size: u64) -> f64 {
+    let r = wait.as_secs() as f64 / walltime.as_secs().max(1) as f64;
+    r * r * r * size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_workload::{JobId, MachineId};
+
+    fn job(id: u64, submit: u64, size: u64, walltime: u64) -> Job {
+        Job::new(
+            JobId(id),
+            MachineId(0),
+            SimTime::from_secs(submit),
+            size,
+            SimDuration::from_secs(walltime.max(1)),
+            SimDuration::from_secs(walltime.max(1)),
+        )
+    }
+
+    #[test]
+    fn fcfs_orders_by_submission() {
+        let a = job(1, 100, 1, 600);
+        let b = job(2, 50, 1, 600);
+        let now = SimTime::from_secs(1_000);
+        let jobs = [(&a, 0.0), (&b, 0.0)];
+        let order = order_queue(PolicyKind::Fcfs, now, &jobs, &|_| false);
+        assert_eq!(order, vec![1, 0]); // b submitted earlier → first
+    }
+
+    #[test]
+    fn wfp_favours_large_jobs_at_equal_relative_wait() {
+        let small = job(1, 0, 512, 3_600);
+        let large = job(2, 0, 8_192, 3_600);
+        let now = SimTime::from_secs(1_800);
+        let jobs = [(&small, 0.0), (&large, 0.0)];
+        let order = order_queue(PolicyKind::Wfp, now, &jobs, &|_| false);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn wfp_favours_relative_wait_over_absolute() {
+        // Short-walltime job waiting as long as a long-walltime job has a
+        // much larger (wait/walltime)³.
+        let short = job(1, 0, 512, 600);
+        let long = job(2, 0, 512, 36_000);
+        let now = SimTime::from_secs(600);
+        let jobs = [(&long, 0.0), (&short, 0.0)];
+        let order = order_queue(PolicyKind::Wfp, now, &jobs, &|_| false);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn wfp_score_matches_formula() {
+        let s = wfp_score(SimDuration::from_secs(1_800), SimDuration::from_secs(3_600), 1_024);
+        assert!((s - 0.125 * 1_024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sjf_prefers_short_walltime() {
+        let short = job(1, 0, 1, 60);
+        let long = job(2, 0, 1, 6_000);
+        let jobs = [(&long, 0.0), (&short, 0.0)];
+        let order = order_queue(PolicyKind::Sjf, SimTime::from_secs(10), &jobs, &|_| false);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn boost_lifts_priority() {
+        let a = job(1, 0, 1, 600);
+        let b = job(2, 0, 1, 600);
+        let now = SimTime::from_secs(300);
+        // Without boost, tie breaks to lower id (a). With boost on b, b wins.
+        let order = order_queue(PolicyKind::Fcfs, now, &[(&a, 0.0), (&b, 0.0)], &|_| false);
+        assert_eq!(order, vec![0, 1]);
+        let order = order_queue(PolicyKind::Fcfs, now, &[(&a, 0.0), (&b, 1e6)], &|_| false);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn demoted_jobs_sort_last_regardless_of_score() {
+        let old = job(1, 0, 1, 600); // huge wait → top score
+        let new = job(2, 990, 1, 600);
+        let now = SimTime::from_secs(1_000);
+        let jobs = [(&old, 0.0), (&new, 0.0)];
+        let order = order_queue(PolicyKind::Fcfs, now, &jobs, &|j| j.id == JobId(1));
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_wait_scores_are_stable() {
+        let a = job(1, 500, 4, 600);
+        let b = job(2, 500, 4, 600);
+        let now = SimTime::from_secs(500);
+        let order = order_queue(PolicyKind::Wfp, now, &[(&b, 0.0), (&a, 0.0)], &|_| false);
+        // Equal scores: ties by (submit, id) → a (id 1) first.
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn growth_property_flags() {
+        assert!(PolicyKind::Fcfs.priority_grows_with_wait());
+        assert!(PolicyKind::Wfp.priority_grows_with_wait());
+        assert!(!PolicyKind::Sjf.priority_grows_with_wait());
+    }
+}

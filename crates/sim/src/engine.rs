@@ -1,0 +1,185 @@
+//! Minimal event-dispatch driver.
+//!
+//! [`Engine`] owns the clock and the [`EventQueue`] and hands each event to
+//! an [`EventHandler`]. Handlers receive a mutable borrow of the queue so
+//! they can schedule follow-on events (job completions, timers, protocol
+//! message deliveries). The coupled-simulation driver in `cosched-core` is an
+//! `EventHandler` over the union of both machines' event types.
+
+use crate::event::{EventQueue, ScheduledEvent};
+use crate::time::SimTime;
+
+/// Implemented by simulation models: reacts to one event at a time.
+pub trait EventHandler<E> {
+    /// Handle `event` firing at `now`; push any consequences onto `queue`.
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+/// What a single [`Engine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was dispatched.
+    Dispatched,
+    /// The queue was empty; nothing happened.
+    Idle,
+}
+
+/// Discrete-event simulation driver: a clock plus an event queue.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulation time. Never moves backwards.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Mutable access to the queue, for seeding initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Shared access to the queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Dispatch the next event, advancing the clock to its timestamp.
+    ///
+    /// # Panics
+    /// Panics if an event was scheduled in the past (a model bug: handlers
+    /// must schedule at or after `now`).
+    pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> StepOutcome {
+        match self.queue.pop() {
+            Some(ScheduledEvent { time, event, .. }) => {
+                assert!(
+                    time >= self.now,
+                    "event scheduled in the past: {} < {}",
+                    time,
+                    self.now
+                );
+                self.now = time;
+                self.dispatched += 1;
+                handler.handle(time, event, &mut self.queue);
+                StepOutcome::Dispatched
+            }
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run<H: EventHandler<E>>(&mut self, handler: &mut H) {
+        while self.step(handler) == StepOutcome::Dispatched {}
+    }
+
+    /// Run until the queue drains or the next event is strictly after
+    /// `horizon`. Events at exactly `horizon` are dispatched.
+    pub fn run_until<H: EventHandler<E>>(&mut self, handler: &mut H, horizon: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step(handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Toy model: each `Tick(n)` schedules `Tick(n-1)` one second later.
+    struct Countdown {
+        fired: Vec<(SimTime, u32)>,
+    }
+
+    impl EventHandler<u32> for Countdown {
+        fn handle(&mut self, now: SimTime, event: u32, queue: &mut EventQueue<u32>) {
+            self.fired.push((now, event));
+            if event > 0 {
+                queue.push(now + SimDuration::from_secs(1), event - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_chained_events() {
+        let mut engine = Engine::new();
+        engine.queue_mut().push(SimTime::from_secs(10), 3u32);
+        let mut model = Countdown { fired: vec![] };
+        engine.run(&mut model);
+        assert_eq!(
+            model.fired,
+            vec![
+                (SimTime::from_secs(10), 3),
+                (SimTime::from_secs(11), 2),
+                (SimTime::from_secs(12), 1),
+                (SimTime::from_secs(13), 0),
+            ]
+        );
+        assert_eq!(engine.dispatched(), 4);
+        assert_eq!(engine.now(), SimTime::from_secs(13));
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_idle() {
+        let mut engine: Engine<u32> = Engine::new();
+        let mut model = Countdown { fired: vec![] };
+        assert_eq!(engine.step(&mut model), StepOutcome::Idle);
+        assert_eq!(engine.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut engine = Engine::new();
+        engine.queue_mut().push(SimTime::from_secs(0), 10u32);
+        let mut model = Countdown { fired: vec![] };
+        engine.run_until(&mut model, SimTime::from_secs(4));
+        // Events at t=0..=4 fire; the t=5 event remains queued.
+        assert_eq!(model.fired.len(), 5);
+        assert_eq!(engine.queue().len(), 1);
+        assert_eq!(engine.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl EventHandler<u32> for Bad {
+            fn handle(&mut self, now: SimTime, event: u32, queue: &mut EventQueue<u32>) {
+                if event == 1 {
+                    // Schedule before `now` — must be caught.
+                    queue.push(now - SimDuration::from_secs(5), 2);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.queue_mut().push(SimTime::from_secs(10), 1u32);
+        let mut model = Bad;
+        engine.run(&mut model);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cancellable, deterministic event queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing insertion counter, so simultaneous events dispatch in FIFO
+//! order. That makes simulations fully deterministic regardless of heap
+//! internals. Cancellation is lazy: [`EventQueue::cancel`] marks the event id
+//! and [`EventQueue::pop`] silently discards marked entries. Lazy deletion is
+//! the standard DES technique for timers that are usually rescheduled (the
+//! hold-release timers of the deadlock breaker are exactly that shape).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event together with its dispatch time and identity.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The handle returned by [`EventQueue::push`].
+    pub id: EventId,
+    /// The payload.
+    pub event: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    /// Reversed so the `BinaryHeap` max-heap yields the *earliest* entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timestamped events with FIFO tie-breaking and lazy
+/// cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    /// Sequence numbers of events that are in the heap and not cancelled.
+    /// Membership here is the source of truth for "pending".
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `time`. Returns a handle that can be used
+    /// to cancel it. Events pushed for the same instant fire in push order.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or cancelled). Cancelling an
+    /// already-fired or already-cancelled event is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Remove and return the earliest pending event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // was cancelled; discard lazily
+            }
+            return Some(ScheduledEvent {
+                time: entry.time,
+                id: EventId(entry.seq),
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// The dispatch time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge cancelled entries off the top so the answer is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no pending events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_rejected() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn len_tracks_pushes_pops_and_cancels() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        q.push(t(3), 3);
+        assert_eq!(q.len(), 3);
+        q.cancel(a);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_global_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(5), 5);
+        assert_eq!(q.pop().unwrap().event, 5);
+        q.push(t(7), 7);
+        q.push(t(6), 6);
+        assert_eq!(q.pop().unwrap().event, 6);
+        assert_eq!(q.pop().unwrap().event, 7);
+        assert_eq!(q.pop().unwrap().event, 10);
+    }
+}

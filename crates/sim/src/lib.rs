@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the substrate underneath the coscheduling simulator
+//! (the role Qsim plays for the Cobalt resource manager in the paper).
+//! It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-second simulation clock types,
+//! * [`EventQueue`] — a cancellable priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking,
+//! * [`Engine`] — a small driver that pops events and dispatches them to an
+//!   [`EventHandler`],
+//! * [`rng`] — seedable, reproducible random-number plumbing,
+//! * [`dist`] — the statistical distributions used by the workload
+//!   generators (exponential, log-normal, Weibull, discrete histogram).
+//!
+//! Everything here is deterministic: running the same simulation twice with
+//! the same seed produces byte-identical event sequences. That property is
+//! relied on by the reproduction harness and asserted by integration tests.
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EventHandler, StepOutcome};
+pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, SECOND};

@@ -1,0 +1,212 @@
+//! The job record shared by every component of the simulator.
+
+use cosched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a job uniquely *within one machine's trace*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifies one of the coupled machines (scheduling domains).
+///
+/// The paper couples exactly two systems; the type is an index rather than a
+/// two-variant enum because the future-work section contemplates N-way
+/// coscheduling, and nothing in the algorithm is binary-specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+/// Cross-domain reference to a job's *mate*: the associated job on the other
+/// machine that must start at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MateRef {
+    /// Which machine the mate was submitted to.
+    pub machine: MachineId,
+    /// The mate's id on that machine.
+    pub job: JobId,
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MateRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.machine, self.job)
+    }
+}
+
+/// One batch job as recorded in (or synthesised into) a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Trace-local identifier.
+    pub id: JobId,
+    /// The machine this job was submitted to.
+    pub machine: MachineId,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// Number of nodes requested.
+    pub size: u64,
+    /// Actual runtime (known to the simulator, not to the scheduler).
+    pub runtime: SimDuration,
+    /// User-requested walltime (the scheduler's runtime estimate; always
+    /// ≥ `runtime` in well-formed traces, enforced by [`Job::new`]).
+    pub walltime: SimDuration,
+    /// The associated job on the other machine, if this job is paired.
+    pub mate: Option<MateRef>,
+}
+
+impl Job {
+    /// Construct a job, clamping `walltime` up to at least `runtime` (a
+    /// scheduler must never see an estimate below the true runtime, or a
+    /// "running job overran its walltime" state the simulator does not
+    /// model would result).
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `runtime` is zero: zero-width or zero-length
+    /// jobs are trace corruption.
+    pub fn new(
+        id: JobId,
+        machine: MachineId,
+        submit: SimTime,
+        size: u64,
+        runtime: SimDuration,
+        walltime: SimDuration,
+    ) -> Self {
+        assert!(size > 0, "job {id} requests zero nodes");
+        assert!(!runtime.is_zero(), "job {id} has zero runtime");
+        Job {
+            id,
+            machine,
+            submit,
+            size,
+            runtime,
+            walltime: walltime.max(runtime),
+            mate: None,
+        }
+    }
+
+    /// Builder-style mate assignment.
+    pub fn with_mate(mut self, mate: MateRef) -> Self {
+        self.mate = Some(mate);
+        self
+    }
+
+    /// True if this job is half of an associated pair.
+    pub fn is_paired(&self) -> bool {
+        self.mate.is_some()
+    }
+
+    /// The work this job represents, in node-seconds.
+    pub fn node_seconds(&self) -> u64 {
+        self.size.saturating_mul(self.runtime.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> Job {
+        Job::new(
+            JobId(id),
+            MachineId(0),
+            SimTime::from_secs(100),
+            64,
+            SimDuration::from_secs(3600),
+            SimDuration::from_secs(7200),
+        )
+    }
+
+    #[test]
+    fn walltime_clamped_to_runtime() {
+        let j = Job::new(
+            JobId(1),
+            MachineId(0),
+            SimTime::ZERO,
+            8,
+            SimDuration::from_secs(500),
+            SimDuration::from_secs(100), // below runtime: must be raised
+        );
+        assert_eq!(j.walltime, SimDuration::from_secs(500));
+    }
+
+    #[test]
+    fn walltime_above_runtime_kept() {
+        let j = job(1);
+        assert_eq!(j.walltime, SimDuration::from_secs(7200));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn rejects_zero_size() {
+        Job::new(
+            JobId(1),
+            MachineId(0),
+            SimTime::ZERO,
+            0,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runtime")]
+    fn rejects_zero_runtime() {
+        Job::new(
+            JobId(1),
+            MachineId(0),
+            SimTime::ZERO,
+            4,
+            SimDuration::ZERO,
+            SimDuration::from_secs(10),
+        );
+    }
+
+    #[test]
+    fn mate_assignment() {
+        let mate = MateRef {
+            machine: MachineId(1),
+            job: JobId(77),
+        };
+        let j = job(1).with_mate(mate);
+        assert!(j.is_paired());
+        assert_eq!(j.mate, Some(mate));
+        assert!(!job(2).is_paired());
+    }
+
+    #[test]
+    fn node_seconds() {
+        assert_eq!(job(1).node_seconds(), 64 * 3600);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(5).to_string(), "j5");
+        assert_eq!(MachineId(1).to_string(), "m1");
+        let m = MateRef {
+            machine: MachineId(1),
+            job: JobId(5),
+        };
+        assert_eq!(m.to_string(), "m1/j5");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = job(9).with_mate(MateRef {
+            machine: MachineId(1),
+            job: JobId(3),
+        });
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(j, back);
+    }
+}

@@ -1,0 +1,219 @@
+//! Standard Workload Format (SWF) reader and writer.
+//!
+//! SWF is the de-facto interchange format of the Parallel Workloads Archive;
+//! Cobalt/Qsim traces are routinely converted to it. Supporting it means a
+//! site with the real Intrepid/Eureka logs can drop them straight into this
+//! reproduction. Each record is one whitespace-separated line of 18 fields;
+//! comment lines start with `;`.
+//!
+//! Fields used here (1-based SWF indices):
+//!
+//! | # | field              | mapping                                    |
+//! |---|--------------------|--------------------------------------------|
+//! | 1 | job number         | [`Job::id`]                                |
+//! | 2 | submit time        | [`Job::submit`]                            |
+//! | 4 | run time           | [`Job::runtime`]                           |
+//! | 5 | allocated procs    | [`Job::size`] fallback                     |
+//! | 8 | requested procs    | [`Job::size`] when positive                |
+//! | 9 | requested time     | [`Job::walltime`] (falls back to runtime)  |
+//!
+//! Remaining fields are preserved as `-1` (unknown) on write, per the SWF
+//! convention.
+
+use crate::job::{Job, JobId, MachineId};
+use crate::trace::Trace;
+use cosched_sim::{SimDuration, SimTime};
+use std::io::{BufRead, Write};
+
+/// Errors arising while parsing SWF input.
+#[derive(Debug)]
+pub enum SwfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record line that could not be interpreted.
+    Malformed {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfError::Io(e) => write!(f, "I/O error reading SWF: {e}"),
+            SwfError::Malformed { line, reason } => {
+                write!(f, "malformed SWF record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwfError::Io(e) => Some(e),
+            SwfError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SwfError {
+    fn from(e: std::io::Error) -> Self {
+        SwfError::Io(e)
+    }
+}
+
+fn field_i64(fields: &[&str], idx0: usize, line: usize) -> Result<i64, SwfError> {
+    let raw = fields.get(idx0).ok_or_else(|| SwfError::Malformed {
+        line,
+        reason: format!("missing field {}", idx0 + 1),
+    })?;
+    raw.parse::<i64>().map_err(|_| SwfError::Malformed {
+        line,
+        reason: format!("field {} is not an integer: {raw:?}", idx0 + 1),
+    })
+}
+
+/// Parse an SWF stream into a [`Trace`] for `machine`.
+///
+/// Records with non-positive runtime or without any processor count are
+/// skipped (cancelled jobs in SWF carry `-1` fields); the count of skipped
+/// records is returned alongside the trace.
+pub fn read_swf<R: BufRead>(reader: R, machine: MachineId) -> Result<(Trace, usize), SwfError> {
+    let mut jobs = Vec::new();
+    let mut skipped = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let id = field_i64(&fields, 0, lineno)?;
+        let submit = field_i64(&fields, 1, lineno)?;
+        let runtime = field_i64(&fields, 3, lineno)?;
+        let alloc_procs = field_i64(&fields, 4, lineno)?;
+        let req_procs = field_i64(&fields, 7, lineno).unwrap_or(-1);
+        let req_time = field_i64(&fields, 8, lineno).unwrap_or(-1);
+
+        if id < 0 || submit < 0 {
+            return Err(SwfError::Malformed {
+                line: lineno,
+                reason: format!("negative job number or submit time ({id}, {submit})"),
+            });
+        }
+        let size = if req_procs > 0 { req_procs } else { alloc_procs };
+        if runtime <= 0 || size <= 0 {
+            skipped += 1;
+            continue;
+        }
+        let runtime = SimDuration::from_secs(runtime as u64);
+        let walltime = if req_time > 0 {
+            SimDuration::from_secs(req_time as u64)
+        } else {
+            runtime
+        };
+        jobs.push(Job::new(
+            JobId(id as u64),
+            machine,
+            SimTime::from_secs(submit as u64),
+            size as u64,
+            runtime,
+            walltime,
+        ));
+    }
+    Ok((Trace::from_jobs(machine, jobs), skipped))
+}
+
+/// Serialise a [`Trace`] as SWF. Unknown fields are written as `-1`.
+pub fn write_swf<W: Write>(mut writer: W, trace: &Trace) -> std::io::Result<()> {
+    writeln!(writer, "; SWF export of {} ({} jobs)", trace.machine(), trace.len())?;
+    writeln!(writer, "; fields: id submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue part prev think")?;
+    for j in trace.jobs() {
+        writeln!(
+            writer,
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 -1 -1 -1 -1 -1 -1 -1",
+            j.id.0,
+            j.submit.as_secs(),
+            j.runtime.as_secs(),
+            j.size,
+            j.size,
+            j.walltime.as_secs(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+; comment header
+; another
+
+1 0 5 3600 64 -1 -1 64 7200 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 120 9 60 -1 -1 -1 128 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 240 -1 -1 32 -1 -1 32 600 -1 0 -1 -1 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_records_and_skips_cancelled() {
+        let (trace, skipped) = read_swf(Cursor::new(SAMPLE), MachineId(0)).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(skipped, 1); // job 3 has runtime -1
+        let j1 = trace.get(JobId(1)).unwrap();
+        assert_eq!(j1.submit.as_secs(), 0);
+        assert_eq!(j1.size, 64);
+        assert_eq!(j1.runtime.as_secs(), 3600);
+        assert_eq!(j1.walltime.as_secs(), 7200);
+    }
+
+    #[test]
+    fn requested_procs_preferred_and_walltime_falls_back() {
+        let (trace, _) = read_swf(Cursor::new(SAMPLE), MachineId(0)).unwrap();
+        let j2 = trace.get(JobId(2)).unwrap();
+        assert_eq!(j2.size, 128); // requested procs wins over allocated -1
+        assert_eq!(j2.walltime, j2.runtime); // reqtime -1 → runtime
+    }
+
+    #[test]
+    fn rejects_short_record() {
+        let err = read_swf(Cursor::new("1 0 5\n"), MachineId(0)).unwrap_err();
+        assert!(matches!(err, SwfError::Malformed { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let err = read_swf(Cursor::new("x 0 5 10 4 -1 -1 4 10 -1 1\n"), MachineId(0)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("not an integer"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_negative_submit() {
+        let err = read_swf(Cursor::new("1 -5 5 10 4 -1 -1 4 10 -1 1\n"), MachineId(0)).unwrap_err();
+        assert!(err.to_string().contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_through_swf() {
+        let (trace, _) = read_swf(Cursor::new(SAMPLE), MachineId(1)).unwrap();
+        let mut buf = Vec::new();
+        write_swf(&mut buf, &trace).unwrap();
+        let (back, skipped) = read_swf(Cursor::new(buf), MachineId(1)).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let (trace, skipped) = read_swf(Cursor::new(";\n\n"), MachineId(0)).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(skipped, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Facade crate for the coupled-system job-coscheduling reproduction.
+//!
+//! Re-exports the workspace's public API under one roof so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event engine,
+//! * [`workload`] — job model, traces, synthetic generators, pairing,
+//! * [`sched`] — single-domain resource manager (allocators, WFP/FCFS,
+//!   EASY backfilling),
+//! * [`proto`] — the lightweight cross-domain coordination protocol,
+//! * [`cosched`] — the paper's contribution: the `Run_Job` coscheduling
+//!   algorithm, hold/yield schemes, deadlock breaker, the coupled
+//!   simulation driver, live wall-clock domains, and the §VI extensions
+//!   (N-way coscheduling, inter-job temporal constraints),
+//! * [`resv`] — the advance co-reservation baseline of the §III comparison,
+//! * [`metrics`] — evaluation metrics (wait, slowdown, sync time,
+//!   service-unit loss).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use cosched_core as cosched;
+pub use cosched_metrics as metrics;
+pub use cosched_resv as resv;
+pub use cosched_proto as proto;
+pub use cosched_sched as sched;
+pub use cosched_sim as sim;
+pub use cosched_workload as workload;
+
+/// Commonly used items, importable as `use coupled_cosched::prelude::*`.
+pub mod prelude {
+    pub use cosched_core::config::{CoschedConfig, CoupledConfig, Scheme, SchemeCombo};
+    pub use cosched_core::driver::{CoupledSimulation, SimulationReport};
+    pub use cosched_metrics::summary::MachineSummary;
+    pub use cosched_sched::machine::MachineConfig;
+    pub use cosched_sched::policy::PolicyKind;
+    pub use cosched_sim::{SimDuration, SimTime};
+    pub use cosched_workload::job::{Job, JobId, MachineId};
+    pub use cosched_workload::trace::Trace;
+}

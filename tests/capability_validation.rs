@@ -1,0 +1,154 @@
+//! §V-B capability validation as an integration test: for every scheme
+//! combination under varied loads and pair proportions, all paired jobs
+//! start simultaneously, nothing deadlocks with the release enhancement on,
+//! and hold-hold deadlocks with it off.
+
+use coupled_cosched::cosched::{CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo};
+use coupled_cosched::prelude::*;
+use coupled_cosched::sim::{SimDuration, SimRng};
+use coupled_cosched::workload::{pairing, MachineModel, TraceGenerator};
+
+fn coupled_traces(seed: u64, util: f64, proportion: f64) -> [Trace; 2] {
+    let rng = SimRng::seed_from_u64(seed);
+    let mut a = TraceGenerator::new(MachineModel::eureka().with_runtime(1_500.0, 1.2), MachineId(0))
+        .span(SimDuration::from_days(2))
+        .target_utilization(util)
+        .generate(&mut rng.fork(1));
+    let mut b = TraceGenerator::new(MachineModel::eureka().with_runtime(1_500.0, 1.2), MachineId(1))
+        .span(SimDuration::from_days(2))
+        .target_utilization(util)
+        .generate(&mut rng.fork(2));
+    pairing::pair_exact_proportion(&mut a, &mut b, proportion, SimDuration::from_mins(2), &mut rng.fork(3));
+    [a, b]
+}
+
+fn config(combo: SchemeCombo) -> CoupledConfig {
+    let mut cfg = CoupledConfig {
+        machines: [
+            MachineConfig::eureka(MachineId(0)),
+            MachineConfig::eureka(MachineId(1)),
+        ],
+        cosched: [
+            CoschedConfig::paper(combo.of(0)),
+            CoschedConfig::paper(combo.of(1)),
+        ],
+        max_events: 2_000_000,
+    };
+    cfg.machines[0].name = "A".into();
+    cfg.machines[1].name = "B".into();
+    cfg
+}
+
+#[test]
+fn all_combos_all_loads_synchronize_without_deadlock() {
+    for combo in SchemeCombo::ALL {
+        for (seed, util) in [(1, 0.25), (2, 0.50), (3, 0.75)] {
+            let traces = coupled_traces(seed, util, 0.10);
+            let pairs = traces[0].paired_count();
+            assert!(pairs > 3, "workload must contain pairs (got {pairs})");
+            let report = CoupledSimulation::new(config(combo), traces).run();
+            assert!(!report.deadlocked, "{} deadlocked at util {util}", combo.label());
+            assert!(!report.aborted, "{} aborted at util {util}", combo.label());
+            assert_eq!(report.unfinished, [0, 0], "{} at util {util}", combo.label());
+            assert_eq!(
+                report.pair_offsets.len(),
+                pairs,
+                "{} at util {util}: every pair must complete",
+                combo.label()
+            );
+            assert!(
+                report.all_pairs_synchronized(),
+                "{} at util {util}: max offset {}",
+                combo.label(),
+                report.max_pair_offset()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_combos_all_proportions_synchronize() {
+    for combo in SchemeCombo::ALL {
+        for (seed, prop) in [(4, 0.05), (5, 0.20), (6, 0.33)] {
+            let report = CoupledSimulation::new(config(combo), coupled_traces(seed, 0.5, prop)).run();
+            assert!(!report.deadlocked, "{} at prop {prop}", combo.label());
+            assert!(
+                report.all_pairs_synchronized(),
+                "{} at prop {prop}: max offset {}",
+                combo.label(),
+                report.max_pair_offset()
+            );
+        }
+    }
+}
+
+#[test]
+fn hold_hold_deadlocks_without_breaker_and_not_with_it() {
+    // Dense pairing at medium load makes the circular wait all but certain.
+    let mut without = config(SchemeCombo::HH);
+    without.cosched[0].release_period = None;
+    without.cosched[1].release_period = None;
+    let report = CoupledSimulation::new(without, coupled_traces(7, 0.6, 0.5)).run();
+    assert!(
+        report.deadlocked,
+        "expected hold-hold to deadlock without the release enhancement"
+    );
+    assert!(report.unfinished[0] + report.unfinished[1] > 0);
+
+    let report = CoupledSimulation::new(config(SchemeCombo::HH), coupled_traces(7, 0.6, 0.5)).run();
+    assert!(!report.deadlocked, "release enhancement must break the deadlock");
+    assert_eq!(report.unfinished, [0, 0]);
+    assert!(report.forced_releases > 0);
+    assert!(report.all_pairs_synchronized());
+}
+
+#[test]
+fn disabling_coscheduling_gives_plain_scheduling() {
+    let mut cfg = config(SchemeCombo::YY);
+    cfg.cosched = [CoschedConfig::disabled(), CoschedConfig::disabled()];
+    let report = CoupledSimulation::new(cfg, coupled_traces(8, 0.5, 0.2)).run();
+    assert!(!report.deadlocked);
+    assert_eq!(report.summaries[0].total_holds, 0);
+    assert_eq!(report.summaries[0].total_yields, 0);
+    assert_eq!(report.summaries[0].lost_node_hours, 0.0);
+    // Pairs exist in the workload but are not synchronized by anything.
+    assert!(!report.pair_offsets.is_empty());
+}
+
+#[test]
+fn enhancements_preserve_the_sync_guarantee() {
+    // Held-fraction cap and yield cap change decisions, never correctness.
+    let mut cfg = config(SchemeCombo::HH);
+    cfg.cosched[0] = CoschedConfig::paper(Scheme::Hold).with_max_held_fraction(Some(0.2));
+    cfg.cosched[1] = CoschedConfig::paper(Scheme::Yield).with_max_yields(Some(5));
+    let report = CoupledSimulation::new(cfg, coupled_traces(9, 0.5, 0.25)).run();
+    assert!(!report.deadlocked);
+    assert!(report.all_pairs_synchronized(), "max offset {}", report.max_pair_offset());
+}
+
+#[test]
+fn intrepid_eureka_scale_capability() {
+    // The real machine shapes (buddy-partitioned 40k machine + 100-node
+    // cluster) at small trace scale.
+    let rng = SimRng::seed_from_u64(10);
+    let mut intrepid = TraceGenerator::new(MachineModel::intrepid(), MachineId(0))
+        .span(SimDuration::from_days(2))
+        .target_utilization(0.55)
+        .generate(&mut rng.fork(0));
+    let mut eureka = TraceGenerator::new(MachineModel::eureka(), MachineId(1))
+        .span(SimDuration::from_days(2))
+        .target_utilization(0.5)
+        .generate(&mut rng.fork(1));
+    pairing::pair_by_window(&mut intrepid, &mut eureka, SimDuration::from_mins(2));
+    for combo in SchemeCombo::ALL {
+        let report =
+            CoupledSimulation::new(CoupledConfig::anl(combo), [intrepid.clone(), eureka.clone()]).run();
+        assert!(!report.deadlocked, "{}", combo.label());
+        assert!(
+            report.all_pairs_synchronized(),
+            "{}: max offset {}",
+            combo.label(),
+            report.max_pair_offset()
+        );
+    }
+}
