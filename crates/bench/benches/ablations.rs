@@ -2,11 +2,11 @@
 //! policy variant does to simulation wall time (the *metric* effects are in
 //! the `ablate` binary; this measures compute cost).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosched_bench::harness;
 use cosched_core::{CoupledConfig, CoupledSimulation, SchemeCombo};
 use cosched_sched::PolicyKind;
 use cosched_sim::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_release_period_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_release_period");
@@ -72,5 +72,10 @@ fn bench_backfill_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_release_period_cost, bench_policy_cost, bench_backfill_cost);
+criterion_group!(
+    benches,
+    bench_release_period_cost,
+    bench_policy_cost,
+    bench_backfill_cost
+);
 criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! coupled day of the ANL workload simulates under each scheme combination,
 //! and the protocol overhead per coordination call.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosched_bench::harness;
 use cosched_core::SchemeCombo;
 use cosched_proto::{frame, Request, Response};
 use cosched_workload::JobId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_coupled_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("coupled_simulation_3days");
@@ -25,7 +25,9 @@ fn bench_coupled_day(c: &mut Criterion) {
 }
 
 fn bench_protocol_framing(c: &mut Criterion) {
-    let req = Request::GetMateStatus { job: JobId(123_456) };
+    let req = Request::GetMateStatus {
+        job: JobId(123_456),
+    };
     c.bench_function("protocol/encode_decode_roundtrip", |b| {
         b.iter(|| {
             let wire = frame::encode(&req);

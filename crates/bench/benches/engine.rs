@@ -2,8 +2,8 @@
 //! throughput and dispatch overhead. These bound how large a coupled
 //! simulation the harness can afford.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosched_sim::{Engine, EventHandler, EventQueue, SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_queue_push_pop(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -71,5 +71,10 @@ fn bench_engine_dispatch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_queue_push_pop, bench_queue_cancel_heavy, bench_engine_dispatch);
+criterion_group!(
+    benches,
+    bench_queue_push_pop,
+    bench_queue_cancel_heavy,
+    bench_engine_dispatch
+);
 criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Criterion benches for the single-domain scheduler substrate: allocator
 //! operations and scheduling-iteration cost as queue depth grows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosched_sched::alloc::{BuddyAllocator, FlatAllocator};
 use cosched_sched::{Machine, MachineConfig, NodeAllocator, PolicyKind};
 use cosched_sim::{SimDuration, SimTime};
 use cosched_workload::{Job, JobId, MachineId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_allocators(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator");

@@ -23,42 +23,131 @@ fn main() {
 
     println!("# Reproduction run — all experiments");
     println!();
-    println!("Scale: {} days per trace, {} seeds per case.", scale.days, scale.seeds);
+    println!(
+        "Scale: {} days per trace, {} seeds per case.",
+        scale.days, scale.seeds
+    );
     println!();
-    print!("{}", figures::validation_table(&lp, "Validation — load sweep"));
+    print!(
+        "{}",
+        figures::validation_table(&lp, "Validation — load sweep")
+    );
     println!();
-    print!("{}", figures::validation_table(&pp, "Validation — proportion sweep"));
+    print!(
+        "{}",
+        figures::validation_table(&pp, "Validation — proportion sweep")
+    );
     println!();
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_wait(&lp, m, &format!("Fig. 3({}) {name} avg wait by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_wait(
+                &lp,
+                m,
+                &format!(
+                    "Fig. 3({}) {name} avg wait by Eureka sys. util.",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_slowdown(&lp, m, &format!("Fig. 4({}) {name} avg slowdown by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_slowdown(
+                &lp,
+                m,
+                &format!(
+                    "Fig. 4({}) {name} avg slowdown by Eureka sys. util.",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_sync(&lp, m, &format!("Fig. 5({}) {name} avg job sync time by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_sync(
+                &lp,
+                m,
+                &format!(
+                    "Fig. 5({}) {name} avg job sync time by Eureka sys. util.",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_loss(&lp, m, &format!("Fig. 6({}) {name} service-unit loss by Eureka sys. util.", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_loss(
+                &lp,
+                m,
+                &format!(
+                    "Fig. 6({}) {name} service-unit loss by Eureka sys. util.",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_wait(&pp, m, &format!("Fig. 7({}) {name} avg wait by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_wait(
+                &pp,
+                m,
+                &format!(
+                    "Fig. 7({}) {name} avg wait by paired proportion",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_slowdown(&pp, m, &format!("Fig. 8({}) {name} avg slowdown by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_slowdown(
+                &pp,
+                m,
+                &format!(
+                    "Fig. 8({}) {name} avg slowdown by paired proportion",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_sync(&pp, m, &format!("Fig. 9({}) {name} avg job sync time by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_sync(
+                &pp,
+                m,
+                &format!(
+                    "Fig. 9({}) {name} avg job sync time by paired proportion",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
     for (m, name) in [(0, "Intrepid"), (1, "Eureka")] {
-        print!("{}", figures::fig_loss(&pp, m, &format!("Fig. 10({}) {name} service-unit loss by paired proportion", if m == 0 { 'a' } else { 'b' })));
+        print!(
+            "{}",
+            figures::fig_loss(
+                &pp,
+                m,
+                &format!(
+                    "Fig. 10({}) {name} service-unit loss by paired proportion",
+                    if m == 0 { 'a' } else { 'b' }
+                )
+            )
+        );
         println!();
     }
 
@@ -74,7 +163,13 @@ fn main() {
     println!();
     println!("| configuration | deadlocked | unfinished jobs |");
     println!("|---------------|------------|-----------------|");
-    println!("| HH, release enhancement off | {} | {:?} |", without.deadlocked, without.unfinished);
-    println!("| HH, 20-minute release       | {} | {:?} |", with.deadlocked, with.unfinished);
+    println!(
+        "| HH, release enhancement off | {} | {:?} |",
+        without.deadlocked, without.unfinished
+    );
+    println!(
+        "| HH, 20-minute release       | {} | {:?} |",
+        with.deadlocked, with.unfinished
+    );
     eprintln!("total {:?}", t0.elapsed());
 }

@@ -29,7 +29,13 @@ fn main() {
                 "wide wait",
             ],
         );
-        for combo in [None, Some(SchemeCombo::HH), Some(SchemeCombo::HY), Some(SchemeCombo::YH), Some(SchemeCombo::YY)] {
+        for combo in [
+            None,
+            Some(SchemeCombo::HH),
+            Some(SchemeCombo::HY),
+            Some(SchemeCombo::YH),
+            Some(SchemeCombo::YY),
+        ] {
             // Average the cohort stats across seeds.
             let mut acc = [0.0f64; 6];
             let mut counts = [0usize; 2];

@@ -50,9 +50,9 @@ fn main() {
         let traces = harness::anl_load_traces(seed, scale.days, 0.50);
 
         let add = |row: &mut (String, [f64; 6], bool),
-                       s0: &cosched_metrics::MachineSummary,
-                       s1: &cosched_metrics::MachineSummary,
-                       sync: bool| {
+                   s0: &cosched_metrics::MachineSummary,
+                   s1: &cosched_metrics::MachineSummary,
+                   sync: bool| {
             row.1[0] += s0.avg_wait_mins;
             row.1[1] += s0.avg_slowdown;
             row.1[2] += s1.avg_wait_mins;
@@ -65,11 +65,26 @@ fn main() {
         let r = harness::run_one(None, traces.clone());
         add(&mut rows[0], &r.summaries[0], &r.summaries[1], true);
         let r = harness::run_one(Some(SchemeCombo::YY), traces.clone());
-        add(&mut rows[1], &r.summaries[0], &r.summaries[1], r.all_pairs_synchronized());
+        add(
+            &mut rows[1],
+            &r.summaries[0],
+            &r.summaries[1],
+            r.all_pairs_synchronized(),
+        );
         let r = harness::run_one(Some(SchemeCombo::HH), traces.clone());
-        add(&mut rows[2], &r.summaries[0], &r.summaries[1], r.all_pairs_synchronized());
+        add(
+            &mut rows[2],
+            &r.summaries[0],
+            &r.summaries[1],
+            r.all_pairs_synchronized(),
+        );
         let r = ReservationSimulation::new(["Intrepid", "Eureka"], [40_960, 100], traces).run();
-        add(&mut rows[3], &r.summaries[0], &r.summaries[1], r.all_pairs_synchronized());
+        add(
+            &mut rows[3],
+            &r.summaries[0],
+            &r.summaries[1],
+            r.all_pairs_synchronized(),
+        );
     }
 
     let n = scale.seeds as f64;
@@ -82,7 +97,11 @@ fn main() {
             num(acc[3] / n, 2),
             pct(acc[4] / n),
             pct(acc[5] / n),
-            if label.starts_with("baseline") { "n/a".into() } else { sync.to_string() },
+            if label.starts_with("baseline") {
+                "n/a".into()
+            } else {
+                sync.to_string()
+            },
         ]);
     }
     print!("{table}");

@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running proportion sweep at {scale:?}…");
     let sweep = harness::prop_sweep(scale);
     let pts = figures::prop_points(&sweep);
-    print!("{}", figures::fig_loss(&pts, 0, "Fig. 10(a) Intrepid loss of service unit (proportion/remote scheme)"));
-    print!("{}", figures::fig_loss(&pts, 1, "Fig. 10(b) Eureka loss of service unit (proportion/remote scheme)"));
+    print!(
+        "{}",
+        figures::fig_loss(
+            &pts,
+            0,
+            "Fig. 10(a) Intrepid loss of service unit (proportion/remote scheme)"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_loss(
+            &pts,
+            1,
+            "Fig. 10(b) Eureka loss of service unit (proportion/remote scheme)"
+        )
+    );
 }

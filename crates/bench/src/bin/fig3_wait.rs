@@ -7,6 +7,12 @@ fn main() {
     eprintln!("running load sweep at {scale:?}…");
     let sweep = harness::load_sweep(scale);
     let pts = figures::load_points(&sweep);
-    print!("{}", figures::fig_wait(&pts, 0, "Fig. 3(a) Intrepid avg wait by Eureka sys. util."));
-    print!("{}", figures::fig_wait(&pts, 1, "Fig. 3(b) Eureka avg wait by Eureka sys. util."));
+    print!(
+        "{}",
+        figures::fig_wait(&pts, 0, "Fig. 3(a) Intrepid avg wait by Eureka sys. util.")
+    );
+    print!(
+        "{}",
+        figures::fig_wait(&pts, 1, "Fig. 3(b) Eureka avg wait by Eureka sys. util.")
+    );
 }

@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running load sweep at {scale:?}…");
     let sweep = harness::load_sweep(scale);
     let pts = figures::load_points(&sweep);
-    print!("{}", figures::fig_slowdown(&pts, 0, "Fig. 4(a) Intrepid avg slowdown by Eureka sys. util."));
-    print!("{}", figures::fig_slowdown(&pts, 1, "Fig. 4(b) Eureka avg slowdown by Eureka sys. util."));
+    print!(
+        "{}",
+        figures::fig_slowdown(
+            &pts,
+            0,
+            "Fig. 4(a) Intrepid avg slowdown by Eureka sys. util."
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_slowdown(
+            &pts,
+            1,
+            "Fig. 4(b) Eureka avg slowdown by Eureka sys. util."
+        )
+    );
 }

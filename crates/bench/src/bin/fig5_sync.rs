@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running load sweep at {scale:?}…");
     let sweep = harness::load_sweep(scale);
     let pts = figures::load_points(&sweep);
-    print!("{}", figures::fig_sync(&pts, 0, "Fig. 5(a) Intrepid avg job sync time (util/remote scheme)"));
-    print!("{}", figures::fig_sync(&pts, 1, "Fig. 5(b) Eureka avg job sync time (util/remote scheme)"));
+    print!(
+        "{}",
+        figures::fig_sync(
+            &pts,
+            0,
+            "Fig. 5(a) Intrepid avg job sync time (util/remote scheme)"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_sync(
+            &pts,
+            1,
+            "Fig. 5(b) Eureka avg job sync time (util/remote scheme)"
+        )
+    );
 }

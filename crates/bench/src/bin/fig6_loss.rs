@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running load sweep at {scale:?}…");
     let sweep = harness::load_sweep(scale);
     let pts = figures::load_points(&sweep);
-    print!("{}", figures::fig_loss(&pts, 0, "Fig. 6(a) Intrepid loss of service unit (util/remote scheme)"));
-    print!("{}", figures::fig_loss(&pts, 1, "Fig. 6(b) Eureka loss of service unit (util/remote scheme)"));
+    print!(
+        "{}",
+        figures::fig_loss(
+            &pts,
+            0,
+            "Fig. 6(a) Intrepid loss of service unit (util/remote scheme)"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_loss(
+            &pts,
+            1,
+            "Fig. 6(b) Eureka loss of service unit (util/remote scheme)"
+        )
+    );
 }

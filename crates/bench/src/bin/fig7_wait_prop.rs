@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running proportion sweep at {scale:?}…");
     let sweep = harness::prop_sweep(scale);
     let pts = figures::prop_points(&sweep);
-    print!("{}", figures::fig_wait(&pts, 0, "Fig. 7(a) Intrepid avg wait by paired-job proportion"));
-    print!("{}", figures::fig_wait(&pts, 1, "Fig. 7(b) Eureka avg wait by paired-job proportion"));
+    print!(
+        "{}",
+        figures::fig_wait(
+            &pts,
+            0,
+            "Fig. 7(a) Intrepid avg wait by paired-job proportion"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_wait(
+            &pts,
+            1,
+            "Fig. 7(b) Eureka avg wait by paired-job proportion"
+        )
+    );
 }

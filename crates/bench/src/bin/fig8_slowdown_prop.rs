@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running proportion sweep at {scale:?}…");
     let sweep = harness::prop_sweep(scale);
     let pts = figures::prop_points(&sweep);
-    print!("{}", figures::fig_slowdown(&pts, 0, "Fig. 8(a) Intrepid avg slowdown by paired-job proportion"));
-    print!("{}", figures::fig_slowdown(&pts, 1, "Fig. 8(b) Eureka avg slowdown by paired-job proportion"));
+    print!(
+        "{}",
+        figures::fig_slowdown(
+            &pts,
+            0,
+            "Fig. 8(a) Intrepid avg slowdown by paired-job proportion"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_slowdown(
+            &pts,
+            1,
+            "Fig. 8(b) Eureka avg slowdown by paired-job proportion"
+        )
+    );
 }

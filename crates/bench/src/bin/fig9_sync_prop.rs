@@ -7,6 +7,20 @@ fn main() {
     eprintln!("running proportion sweep at {scale:?}…");
     let sweep = harness::prop_sweep(scale);
     let pts = figures::prop_points(&sweep);
-    print!("{}", figures::fig_sync(&pts, 0, "Fig. 9(a) Intrepid avg job sync time (proportion/remote scheme)"));
-    print!("{}", figures::fig_sync(&pts, 1, "Fig. 9(b) Eureka avg job sync time (proportion/remote scheme)"));
+    print!(
+        "{}",
+        figures::fig_sync(
+            &pts,
+            0,
+            "Fig. 9(a) Intrepid avg job sync time (proportion/remote scheme)"
+        )
+    );
+    print!(
+        "{}",
+        figures::fig_sync(
+            &pts,
+            1,
+            "Fig. 9(b) Eureka avg job sync time (proportion/remote scheme)"
+        )
+    );
 }

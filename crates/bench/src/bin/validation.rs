@@ -4,6 +4,7 @@
 //! hold-hold *does* deadlock with the enhancement off.
 use cosched_bench::{figures, harness, Scale};
 use cosched_core::{CoupledSimulation, SchemeCombo};
+use cosched_obs::{RingSink, SinkObserver};
 
 fn main() {
     let scale = Scale::from_env();
@@ -12,11 +13,17 @@ fn main() {
     let prop = harness::prop_sweep(scale);
     print!(
         "{}",
-        figures::validation_table(&figures::load_points(&load), "Validation — load sweep (Eureka util.)")
+        figures::validation_table(
+            &figures::load_points(&load),
+            "Validation — load sweep (Eureka util.)"
+        )
     );
     print!(
         "{}",
-        figures::validation_table(&figures::prop_points(&prop), "Validation — proportion sweep (paired share)")
+        figures::validation_table(
+            &figures::prop_points(&prop),
+            "Validation — proportion sweep (paired share)"
+        )
     );
 
     // Deadlock demonstration: HH without the release enhancement.
@@ -28,10 +35,46 @@ fn main() {
         "HH without release enhancement: deadlocked = {}, unfinished jobs = {:?} (paper: \"deadlocks are highly likely … when the simulation time span [is] more than 10 days\")",
         report.deadlocked, report.unfinished
     );
+    // Same run with the release enhancement on, traced through a bounded
+    // in-memory sink to exercise the observability layer at benchmark scale
+    // (the report must be identical to an untraced run).
     let cfg = cosched_core::CoupledConfig::anl(SchemeCombo::HH);
-    let report = CoupledSimulation::new(cfg, harness::anl_load_traces(1, scale.days, 0.50)).run();
+    let observer = SinkObserver::new(RingSink::new(65_536));
+    let arts = CoupledSimulation::with_observer(
+        cfg,
+        harness::anl_load_traces(1, scale.days, 0.50),
+        observer,
+    )
+    .run_traced();
+    let report = &arts.report;
     println!(
         "HH with 20-minute release enhancement: deadlocked = {}, unfinished jobs = {:?}",
         report.deadlocked, report.unfinished
+    );
+    println!();
+    println!(
+        "observability: {} trace records ({} retained), {} rpc calls, {} release sweeps",
+        arts.observer.sink().total(),
+        arts.observer.sink().len(),
+        report.stats.rpc_calls,
+        report.stats.release_sweeps,
+    );
+    println!("wall-clock profile:");
+    for ph in &arts.profile {
+        println!(
+            "  {:<22} calls {:>8}  total {:>9}us  mean {:>7}ns  max {:>9}ns",
+            ph.phase,
+            ph.calls,
+            ph.total_ns / 1_000,
+            ph.mean_ns,
+            ph.max_ns
+        );
+    }
+    println!(
+        "  {:<22} count {:>8}  mean {:>7.0}ns  max {:>9}ns",
+        "rpc latency",
+        arts.rpc_latency_ns.count,
+        arts.rpc_latency_ns.mean(),
+        arts.rpc_latency_ns.max
     );
 }

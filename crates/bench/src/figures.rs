@@ -29,7 +29,10 @@ fn prop_label(p: f64) -> String {
 /// Fig. 3 / Fig. 7: average waiting time (minutes) with baseline and
 /// difference, one table per machine.
 pub fn fig_wait(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
-    let mut t = Table::new(title, &["case", "combo", "cosched (min)", "base (min)", "diff (min)"]);
+    let mut t = Table::new(
+        title,
+        &["case", "combo", "cosched (min)", "base (min)", "diff (min)"],
+    );
     for (label, base, combos) in points {
         for (combo, case) in combos {
             let c = machine_of(case, m).avg_wait_mins;
@@ -73,7 +76,11 @@ pub fn fig_slowdown(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
 pub fn fig_sync(points: &[CasePoint<'_>], m: usize, title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["case / remote scheme", "local hold (min)", "local yield (min)"],
+        &[
+            "case / remote scheme",
+            "local hold (min)",
+            "local yield (min)",
+        ],
     );
     for (label, _base, combos) in points {
         for remote in ["H", "Y"] {
@@ -200,7 +207,9 @@ mod tests {
 
     fn tiny_points() -> Vec<OwnedPoint> {
         let scale = Scale::smoke();
-        let base = run_case(None, scale, |s| crate::harness::anl_load_traces(s, scale.days, 0.5));
+        let base = run_case(None, scale, |s| {
+            crate::harness::anl_load_traces(s, scale.days, 0.5)
+        });
         let hh = run_case(Some(SchemeCombo::HH), scale, |s| {
             crate::harness::anl_load_traces(s, scale.days, 0.5)
         });
@@ -217,7 +226,11 @@ mod tests {
     fn as_refs(pts: &[OwnedPoint]) -> Vec<CasePoint<'_>> {
         pts.iter()
             .map(|(l, b, cs)| {
-                (l.clone(), b, cs.iter().map(|(c, r)| (c.clone(), r)).collect())
+                (
+                    l.clone(),
+                    b,
+                    cs.iter().map(|(c, r)| (c.clone(), r)).collect(),
+                )
             })
             .collect()
     }

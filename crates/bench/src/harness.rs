@@ -13,7 +13,9 @@
 //!   ≈ 0.5; the paired proportion is set exactly to
 //!   2.5 / 5 / 10 / 20 / 33 %.
 
-use cosched_core::{CoschedConfig, CoupledConfig, CoupledSimulation, SchemeCombo, SimulationReport};
+use cosched_core::{
+    CoschedConfig, CoupledConfig, CoupledSimulation, SchemeCombo, SimulationReport,
+};
 use cosched_metrics::MachineSummary;
 use cosched_sim::{SimDuration, SimRng};
 use cosched_workload::{pairing, MachineId, MachineModel, Trace, TraceGenerator};
@@ -48,7 +50,10 @@ pub struct Scale {
 impl Scale {
     /// Paper scale: one month, 10 repetitions.
     pub fn full() -> Self {
-        Scale { days: 30, seeds: 10 }
+        Scale {
+            days: 30,
+            seeds: 10,
+        }
     }
 
     /// Default: 10 days, 3 repetitions — same shapes, minutes not hours.
@@ -85,7 +90,12 @@ pub fn anl_load_traces(seed: u64, days: u64, eureka_util: f64) -> [Trace; 2] {
         .target_utilization(eureka_util)
         .generate(&mut rng.fork(1));
     pairing::pair_by_window(&mut intrepid, &mut eureka, PAIR_WINDOW);
-    pairing::thin_pairs_to_share(&mut intrepid, &mut eureka, LOAD_SWEEP_PAIR_SHARE, &mut rng.fork(2));
+    pairing::thin_pairs_to_share(
+        &mut intrepid,
+        &mut eureka,
+        LOAD_SWEEP_PAIR_SHARE,
+        &mut rng.fork(2),
+    );
     [intrepid, eureka]
 }
 
@@ -216,7 +226,12 @@ pub fn load_sweep(scale: Scale) -> LoadSweep {
             let combos = SchemeCombo::ALL
                 .iter()
                 .map(|&c| {
-                    (c, run_case(Some(c), scale, |seed| anl_load_traces(seed, scale.days, util)))
+                    (
+                        c,
+                        run_case(Some(c), scale, |seed| {
+                            anl_load_traces(seed, scale.days, util)
+                        }),
+                    )
                 })
                 .collect();
             (util, base, combos)
@@ -239,11 +254,18 @@ pub fn prop_sweep(scale: Scale) -> PropSweep {
     let points = PROPORTIONS
         .iter()
         .map(|&p| {
-            let base = run_case(None, scale, |seed| anl_proportion_traces(seed, scale.days, p));
+            let base = run_case(None, scale, |seed| {
+                anl_proportion_traces(seed, scale.days, p)
+            });
             let combos = SchemeCombo::ALL
                 .iter()
                 .map(|&c| {
-                    (c, run_case(Some(c), scale, |seed| anl_proportion_traces(seed, scale.days, p)))
+                    (
+                        c,
+                        run_case(Some(c), scale, |seed| {
+                            anl_proportion_traces(seed, scale.days, p)
+                        }),
+                    )
                 })
                 .collect();
             (p, base, combos)

@@ -3,33 +3,51 @@
 //! Hand-rolled (the workspace's dependency policy doesn't include a CLI
 //! framework) but strict: unknown keys are errors, not silent no-ops.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// A parsed invocation: the subcommand and its `--key value` options.
+/// A parsed invocation: the subcommand, its `--key value` options, and any
+/// boolean `--flag` switches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parsed {
     /// First positional token.
     pub command: String,
     /// `--key value` pairs, keys without the `--` prefix.
     pub options: BTreeMap<String, String>,
+    /// Boolean flags present on the command line, without the `--` prefix.
+    pub flags: BTreeSet<String>,
 }
 
-/// Parse raw arguments (without the program name).
+/// Parse raw arguments (without the program name). Every `--key` consumes a
+/// value; use [`parse_with_flags`] to declare value-less boolean switches.
 ///
 /// # Errors
 /// Returns a message when the command is missing, a key lacks a value, or a
 /// positional token appears where a `--key` was expected.
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    parse_with_flags(args, &[])
+}
+
+/// Parse raw arguments, treating every key in `flags` as a boolean switch
+/// that takes no value (e.g. `--metrics`). All other `--key` tokens require
+/// a value, exactly as in [`parse`].
+pub fn parse_with_flags(args: &[String], flag_keys: &[&str]) -> Result<Parsed, String> {
     let mut iter = args.iter();
     let command = iter
         .next()
         .ok_or_else(|| "missing command (try: generate | pair | simulate)".to_string())?
         .clone();
     let mut options = BTreeMap::new();
+    let mut flags = BTreeSet::new();
     while let Some(token) = iter.next() {
         let key = token
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {token:?}"))?;
+        if flag_keys.contains(&key) {
+            if !flags.insert(key.to_string()) {
+                return Err(format!("flag --{key} given twice"));
+            }
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("option --{key} needs a value"))?;
@@ -37,7 +55,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             return Err(format!("option --{key} given twice"));
         }
     }
-    Ok(Parsed { command, options })
+    Ok(Parsed {
+        command,
+        options,
+        flags,
+    })
 }
 
 impl Parsed {
@@ -64,13 +86,22 @@ impl Parsed {
         }
     }
 
-    /// Reject options outside the allowed set (typo guard).
+    /// Whether a boolean `--flag` was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    /// Reject options or flags outside the allowed set (typo guard).
     pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
-        for key in self.options.keys() {
+        for key in self.options.keys().chain(self.flags.iter()) {
             if !allowed.contains(&key.as_str()) {
                 return Err(format!(
                     "unknown option --{key} (allowed: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
         }
@@ -124,6 +155,37 @@ mod tests {
         let err = p.allow_only(&["good"]).unwrap_err();
         assert!(err.contains("--bad"), "{err}");
         assert!(p.allow_only(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn declared_flags_take_no_value() {
+        let p = parse_with_flags(&argv("simulate --metrics --a x.swf"), &["metrics"]).unwrap();
+        assert!(p.flag("metrics"));
+        assert!(!p.flag("json"));
+        assert_eq!(p.require("a").unwrap(), "x.swf");
+        // Trailing flag must not dangle.
+        let p = parse_with_flags(&argv("simulate --a x.swf --metrics"), &["metrics"]).unwrap();
+        assert!(p.flag("metrics"));
+    }
+
+    #[test]
+    fn duplicate_flag_errors() {
+        let err = parse_with_flags(&argv("x --metrics --metrics"), &["metrics"]).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_flag_still_needs_a_value() {
+        let err = parse_with_flags(&argv("simulate --out"), &["metrics"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn allow_only_covers_flags() {
+        let p = parse_with_flags(&argv("x --metrics"), &["metrics"]).unwrap();
+        let err = p.allow_only(&["good"]).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        assert!(p.allow_only(&["metrics"]).is_ok());
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Command implementations.
 
 use crate::args::Parsed;
-use cosched_core::{CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo};
+use cosched_core::{
+    CoschedConfig, CoupledConfig, CoupledSimulation, RunStats, Scheme, SchemeCombo,
+};
 use cosched_metrics::table::{num, pct, Table};
+use cosched_obs::metrics::HistogramSnapshot;
+use cosched_obs::{JsonlSink, MetricsSnapshot, PhaseSnapshot, SinkObserver};
 use cosched_sched::MachineConfig;
 use cosched_sim::{SimDuration, SimRng};
-use cosched_workload::{pairing, swf, JobId, MachineId, MachineModel, MateRef, Trace, TraceGenerator};
+use cosched_workload::{
+    pairing, swf, JobId, MachineId, MachineModel, MateRef, Trace, TraceGenerator,
+};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
@@ -33,6 +39,10 @@ pub fn run_command(parsed: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+/// Boolean switches (options that take no value) recognised by the CLI;
+/// `main` passes this to [`crate::args::parse_with_flags`].
+pub const FLAGS: &[&str] = &["metrics"];
+
 /// Usage text.
 pub const USAGE: &str = "\
 cosched — coupled-system job coscheduling toolkit
@@ -45,7 +55,8 @@ USAGE:
                    [--window-secs W] [--proportion P] [--seed S]
   cosched simulate --a <a.swf> --b <b.swf> --pairs <pairs.json>
                    [--combo <HH|HY|YH|YY|off>] [--capacity-a N] [--capacity-b N]
-                   [--release-mins M] [--json <report.json>]";
+                   [--release-mins M] [--json <report.json>]
+                   [--trace-out <trace.jsonl>] [--metrics]";
 
 fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.allow_only(&["machine", "out", "days", "util", "seed"])?;
@@ -64,8 +75,8 @@ fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         .span(SimDuration::from_days(days))
         .target_utilization(util)
         .generate(&mut rng);
-    let file = std::fs::File::create(&out_path)
-        .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let file =
+        std::fs::File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     swf::write_swf(std::io::BufWriter::new(file), &trace)
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let _ = writeln!(
@@ -84,7 +95,11 @@ fn cmd_analyze(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     let path = p.require("trace")?;
     let trace = load_trace(path, MachineId(0))?;
     let stats = cosched_workload::stats::trace_stats(&trace);
-    let _ = write!(out, "{}", cosched_workload::stats::render_stats(path, &stats));
+    let _ = write!(
+        out,
+        "{}",
+        cosched_workload::stats::render_stats(path, &stats)
+    );
     if let Some(raw) = p.get("capacity") {
         let capacity: u64 = raw.parse().map_err(|_| format!("bad --capacity {raw:?}"))?;
         let _ = writeln!(
@@ -146,12 +161,22 @@ pub fn apply_pairs(a: &mut Trace, b: &mut Trace, pairs: &PairsFile) -> Result<()
         let (ma, mb) = (a.machine(), b.machine());
         let found_a = a.jobs_mut().iter_mut().find(|j| j.id == JobId(ja));
         match found_a {
-            Some(j) => j.mate = Some(MateRef { machine: mb, job: JobId(jb) }),
+            Some(j) => {
+                j.mate = Some(MateRef {
+                    machine: mb,
+                    job: JobId(jb),
+                })
+            }
             None => return Err(format!("pairs file references missing job {ja} in trace A")),
         }
         let found_b = b.jobs_mut().iter_mut().find(|j| j.id == JobId(jb));
         match found_b {
-            Some(j) => j.mate = Some(MateRef { machine: ma, job: JobId(ja) }),
+            Some(j) => {
+                j.mate = Some(MateRef {
+                    machine: ma,
+                    job: JobId(ja),
+                })
+            }
             None => return Err(format!("pairs file references missing job {jb} in trace B")),
         }
     }
@@ -167,11 +192,24 @@ struct JsonReport {
     max_pair_offset_secs: u64,
     intrepid_like: cosched_metrics::MachineSummary,
     eureka_like: cosched_metrics::MachineSummary,
+    /// Deterministic run activity counters (holds, yields, RPC traffic …).
+    stats: RunStats,
+    /// Full deterministic metrics registry snapshot.
+    metrics: MetricsSnapshot,
 }
 
 fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.allow_only(&[
-        "a", "b", "pairs", "combo", "capacity-a", "capacity-b", "release-mins", "json",
+        "a",
+        "b",
+        "pairs",
+        "combo",
+        "capacity-a",
+        "capacity-b",
+        "release-mins",
+        "json",
+        "trace-out",
+        "metrics",
     ])?;
     let mut a = load_trace(p.require("a")?, MachineId(0))?;
     let mut b = load_trace(p.require("b")?, MachineId(1))?;
@@ -195,8 +233,7 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     let release: u64 = p.get_or("release-mins", 20)?;
 
     let mk_cosched = |scheme| {
-        CoschedConfig::paper(scheme)
-            .with_release_period(Some(SimDuration::from_mins(release)))
+        CoschedConfig::paper(scheme).with_release_period(Some(SimDuration::from_mins(release)))
     };
     let config = CoupledConfig {
         machines: [
@@ -209,7 +246,29 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         },
         max_events: 50_000_000,
     };
-    let report = CoupledSimulation::new(config, [a, b]).run();
+    // With --trace-out the run streams JSONL trace records to a file; the
+    // deterministic report is identical either way (observers are pure
+    // consumers), so both branches reduce to the same artifact tuple.
+    let (report, profile, rpc_latency, trace_note) = match p.get("trace-out") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let arts = CoupledSimulation::with_observer(config, [a, b], SinkObserver::new(sink))
+                .run_traced();
+            let lines = arts.observer.sink().lines();
+            (
+                arts.report,
+                arts.profile,
+                arts.rpc_latency_ns,
+                Some((path.to_string(), lines)),
+            )
+        }
+        None => {
+            let arts = CoupledSimulation::new(config, [a, b]).run_traced();
+            (arts.report, arts.profile, arts.rpc_latency_ns, None)
+        }
+    };
 
     let mut table = Table::new(
         format!(
@@ -218,7 +277,14 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
             report.summaries[0].jobs,
             report.summaries[1].jobs
         ),
-        &["machine", "avg wait (min)", "avg slowdown", "avg sync (min)", "util", "loss rate"],
+        &[
+            "machine",
+            "avg wait (min)",
+            "avg slowdown",
+            "avg sync (min)",
+            "util",
+            "loss rate",
+        ],
     );
     for s in &report.summaries {
         table.row(&[
@@ -238,6 +304,12 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         report.max_pair_offset(),
         report.deadlocked
     );
+    if let Some((path, lines)) = &trace_note {
+        let _ = writeln!(out, "trace: {lines} records -> {path}");
+    }
+    if p.flag("metrics") {
+        write_metrics(out, &report.metrics, &profile, &rpc_latency);
+    }
     if let Some(path) = p.get("json") {
         let j = JsonReport {
             combo: combo.map_or("off".into(), |c| c.label()),
@@ -246,12 +318,64 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
             max_pair_offset_secs: report.max_pair_offset().as_secs(),
             intrepid_like: report.summaries[0].clone(),
             eureka_like: report.summaries[1].clone(),
+            stats: report.stats,
+            metrics: report.metrics.clone(),
         };
-        std::fs::write(Path::new(path), serde_json::to_string_pretty(&j).expect("serialize"))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(
+            Path::new(path),
+            serde_json::to_string_pretty(&j).expect("serialize"),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "report written to {path}");
     }
     Ok(())
+}
+
+/// Render the deterministic metrics registry and the wall-clock profile for
+/// `simulate --metrics`. Counters and sim-time histograms come from the
+/// report (deterministic); phase timings and RPC latency are wall-clock and
+/// clearly labelled as such.
+fn write_metrics(
+    out: &mut dyn Write,
+    metrics: &MetricsSnapshot,
+    profile: &[PhaseSnapshot],
+    rpc_latency: &HistogramSnapshot,
+) {
+    let _ = writeln!(out, "metrics:");
+    for c in &metrics.counters {
+        let _ = writeln!(out, "  {:<32} {}", c.name, c.value);
+    }
+    for h in &metrics.histograms {
+        let _ = writeln!(
+            out,
+            "  {:<32} count {} mean {:.1} min {} max {}",
+            h.name,
+            h.count,
+            h.mean(),
+            h.min,
+            h.max
+        );
+    }
+    let _ = writeln!(out, "wall-clock profile:");
+    for ph in profile {
+        let _ = writeln!(
+            out,
+            "  {:<32} calls {} total {}us mean {}ns max {}ns",
+            ph.phase,
+            ph.calls,
+            ph.total_ns / 1_000,
+            ph.mean_ns,
+            ph.max_ns
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<32} count {} mean {:.0}ns max {}ns",
+        rpc_latency.name,
+        rpc_latency.count,
+        rpc_latency.mean(),
+        rpc_latency.max
+    );
 }
 
 /// Helper mapping a scheme letter for error-free config building (used by
@@ -267,14 +391,13 @@ pub fn scheme_of(letter: char) -> Option<Scheme> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::parse;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
     }
 
     fn run(cmdline: &str) -> Result<String, String> {
-        let parsed = parse(&argv(cmdline))?;
+        let parsed = crate::args::parse_with_flags(&argv(cmdline), FLAGS)?;
         let mut buf = Vec::new();
         run_command(&parsed, &mut buf)?;
         Ok(String::from_utf8(buf).expect("utf8 output"))
@@ -321,11 +444,76 @@ mod tests {
     }
 
     #[test]
+    fn simulate_trace_out_and_metrics() {
+        let a = tmp("obs_a.swf");
+        let b = tmp("obs_b.swf");
+        let pairs = tmp("obs_pairs.json");
+        let trace1 = tmp("obs_trace1.jsonl");
+        let trace2 = tmp("obs_trace2.jsonl");
+        let json = tmp("obs_report.json");
+        run(&format!(
+            "generate --machine eureka --out {a} --days 2 --util 0.5 --seed 3"
+        ))
+        .unwrap();
+        run(&format!(
+            "generate --machine eureka --out {b} --days 2 --util 0.4 --seed 4"
+        ))
+        .unwrap();
+        run(&format!(
+            "pair --a {a} --b {b} --out {pairs} --proportion 0.2 --seed 5"
+        ))
+        .unwrap();
+
+        let simulate = |trace: &str| {
+            run(&format!(
+                "simulate --a {a} --b {b} --pairs {pairs} --combo HY --capacity-a 100 \
+                 --capacity-b 100 --trace-out {trace} --metrics --json {json}"
+            ))
+            .unwrap()
+        };
+        let out = simulate(&trace1);
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("cosched.holds"), "{out}");
+        assert!(out.contains("rpc.calls"), "{out}");
+        assert!(out.contains("wall-clock profile:"), "{out}");
+        assert!(out.contains("scheduler-iteration"), "{out}");
+
+        // The trace is non-empty JSONL.
+        let text = std::fs::read_to_string(&trace1).unwrap();
+        assert!(text.lines().count() > 0);
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("time").is_some(), "{line}");
+        }
+
+        // Same seed, second run: byte-identical trace (observers are pure
+        // consumers of deterministic payloads).
+        simulate(&trace2);
+        assert_eq!(
+            std::fs::read(&trace1).unwrap(),
+            std::fs::read(&trace2).unwrap()
+        );
+
+        // The JSON report now carries the activity counters and registry.
+        let report: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(report["stats"]["rpc_calls"].as_u64().unwrap() > 0);
+        assert!(report["metrics"]["counters"].as_array().unwrap().len() > 4);
+    }
+
+    #[test]
     fn simulate_without_pairs_is_plain_scheduling() {
         let a = tmp("plain_a.swf");
         let b = tmp("plain_b.swf");
-        run(&format!("generate --machine eureka --out {a} --days 1 --seed 6")).unwrap();
-        run(&format!("generate --machine eureka --out {b} --days 1 --seed 7")).unwrap();
+        run(&format!(
+            "generate --machine eureka --out {a} --days 1 --seed 6"
+        ))
+        .unwrap();
+        run(&format!(
+            "generate --machine eureka --out {b} --days 1 --seed 7"
+        ))
+        .unwrap();
         let out = run(&format!(
             "simulate --a {a} --b {b} --combo off --capacity-a 100 --capacity-b 100"
         ))
@@ -353,7 +541,10 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_combo() {
         let a = tmp("badcombo_a.swf");
-        run(&format!("generate --machine eureka --out {a} --days 1 --seed 8")).unwrap();
+        run(&format!(
+            "generate --machine eureka --out {a} --days 1 --seed 8"
+        ))
+        .unwrap();
         let err = run(&format!(
             "simulate --a {a} --b {a} --combo XX --capacity-a 100 --capacity-b 100"
         ))
@@ -366,8 +557,14 @@ mod tests {
         let a = tmp("dangle_a.swf");
         let b = tmp("dangle_b.swf");
         let pairs = tmp("dangle_pairs.json");
-        run(&format!("generate --machine eureka --out {a} --days 1 --seed 9")).unwrap();
-        run(&format!("generate --machine eureka --out {b} --days 1 --seed 10")).unwrap();
+        run(&format!(
+            "generate --machine eureka --out {a} --days 1 --seed 9"
+        ))
+        .unwrap();
+        run(&format!(
+            "generate --machine eureka --out {b} --days 1 --seed 10"
+        ))
+        .unwrap();
         std::fs::write(&pairs, r#"{"pairs": [[999999, 0]]}"#).unwrap();
         let err = run(&format!(
             "simulate --a {a} --b {b} --pairs {pairs} --capacity-a 100 --capacity-b 100"
@@ -386,7 +583,10 @@ mod tests {
     #[test]
     fn analyze_reports_trace_shape() {
         let a = tmp("analyze_a.swf");
-        run(&format!("generate --machine eureka --out {a} --days 2 --seed 11")).unwrap();
+        run(&format!(
+            "generate --machine eureka --out {a} --days 2 --seed 11"
+        ))
+        .unwrap();
         let out = run(&format!("analyze --trace {a} --capacity 100")).unwrap();
         assert!(out.contains("sizes (nodes)"), "{out}");
         assert!(out.contains("offered utilization"), "{out}");

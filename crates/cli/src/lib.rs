@@ -16,5 +16,5 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Parsed};
-pub use commands::run_command;
+pub use args::{parse, parse_with_flags, Parsed};
+pub use commands::{run_command, FLAGS};

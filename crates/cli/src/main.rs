@@ -5,7 +5,7 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match cosched_cli::parse(&args) {
+    let parsed = match cosched_cli::parse_with_flags(&args, cosched_cli::FLAGS) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");

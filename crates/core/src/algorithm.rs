@@ -27,6 +27,7 @@
 //! times becomes a hold.
 
 use crate::config::{CoschedConfig, Scheme};
+use cosched_obs::TraceEvent;
 use cosched_proto::{MateStatus, ProtoError, Request, Response};
 use cosched_workload::{Job, JobId};
 
@@ -70,9 +71,26 @@ pub struct LocalContext<'a> {
 /// protocol call and returns its response; any transport error is treated
 /// as "remote system down" and the job starts normally (the fault-tolerance
 /// property of §IV-C).
-pub fn run_job<R>(cfg: &CoschedConfig, ctx: &LocalContext<'_>, mut remote: R) -> Decision
+pub fn run_job<R>(cfg: &CoschedConfig, ctx: &LocalContext<'_>, remote: R) -> Decision
 where
     R: FnMut(&Request) -> Result<Response, ProtoError>,
+{
+    run_job_traced(cfg, ctx, remote, |_| {})
+}
+
+/// [`run_job`] with a trace hook: `trace` receives a [`TraceEvent`] for each
+/// §IV-E2 scheme modification made during this decision (held-capacity
+/// degradation, yield-cap escalation). The hook is for observability only —
+/// it must not influence the decision.
+pub fn run_job_traced<R, T>(
+    cfg: &CoschedConfig,
+    ctx: &LocalContext<'_>,
+    mut remote: R,
+    mut trace: T,
+) -> Decision
+where
+    R: FnMut(&Request) -> Result<Response, ProtoError>,
+    T: FnMut(TraceEvent),
 {
     // Line 1: coscheduling disabled ⇒ run normally (lines 34–36).
     if !cfg.enabled {
@@ -82,7 +100,9 @@ where
     // Line 2: k = remote.get_mate_job(j). Remote down ⇒ start (fault
     // tolerance: "if the remote system is down, line 2 will return nothing
     // so that the ready job will start immediately").
-    let mate = match remote(&Request::GetMateJob { for_job: ctx.job.id }) {
+    let mate = match remote(&Request::GetMateJob {
+        for_job: ctx.job.id,
+    }) {
         Ok(Response::MateJob(Some(mate))) => mate,
         Ok(Response::MateJob(None)) => return Decision::START, // line 30–31
         Ok(_) | Err(_) => return Decision::START,
@@ -122,7 +142,7 @@ where
                 }
             } else {
                 // Lines 16–23, with the §IV-E2 scheme modifications.
-                match effective_scheme(cfg, ctx) {
+                match effective_scheme(cfg, ctx, &mut trace) {
                     Scheme::Hold => Decision::Hold,
                     Scheme::Yield => Decision::Yield,
                 }
@@ -138,13 +158,24 @@ where
     }
 }
 
-/// Apply the §IV-E2 enhancements to the configured scheme for this decision.
-fn effective_scheme(cfg: &CoschedConfig, ctx: &LocalContext<'_>) -> Scheme {
+/// Apply the §IV-E2 enhancements to the configured scheme for this decision,
+/// reporting any modification through `trace`.
+fn effective_scheme(
+    cfg: &CoschedConfig,
+    ctx: &LocalContext<'_>,
+    trace: &mut impl FnMut(TraceEvent),
+) -> Scheme {
     match cfg.scheme {
         Scheme::Hold => {
             if let Some(cap) = cfg.max_held_fraction {
-                let would_hold = (ctx.held_nodes + ctx.candidate_charged) as f64 / ctx.capacity as f64;
+                let would_hold =
+                    (ctx.held_nodes + ctx.candidate_charged) as f64 / ctx.capacity as f64;
                 if would_hold > cap {
+                    trace(TraceEvent::CoschedHeldCapDegradation {
+                        job: ctx.job.id.0,
+                        held_nodes: ctx.held_nodes,
+                        capacity: ctx.capacity,
+                    });
                     return Scheme::Yield;
                 }
             }
@@ -153,6 +184,10 @@ fn effective_scheme(cfg: &CoschedConfig, ctx: &LocalContext<'_>) -> Scheme {
         Scheme::Yield => {
             if let Some(max) = cfg.max_yields_before_hold {
                 if ctx.yields_so_far >= max {
+                    trace(TraceEvent::CoschedYieldCapEscalation {
+                        job: ctx.job.id.0,
+                        yields: ctx.yields_so_far,
+                    });
                     return Scheme::Hold;
                 }
             }
@@ -177,7 +212,10 @@ mod tests {
             SimDuration::from_secs(1200),
         );
         if paired {
-            j.with_mate(MateRef { machine: MachineId(1), job: JobId(id) })
+            j.with_mate(MateRef {
+                machine: MachineId(1),
+                job: JobId(id),
+            })
         } else {
             j
         }
@@ -201,7 +239,10 @@ mod tests {
 
     impl Script {
         fn new(responses: Vec<Result<Response, ProtoError>>) -> Self {
-            Script { responses, seen: Vec::new() }
+            Script {
+                responses,
+                seen: Vec::new(),
+            }
         }
         fn remote(&mut self) -> impl FnMut(&Request) -> Result<Response, ProtoError> + '_ {
             move |req| {
@@ -212,7 +253,10 @@ mod tests {
     }
 
     fn mate_ref() -> MateRef {
-        MateRef { machine: MachineId(1), job: JobId(1) }
+        MateRef {
+            machine: MachineId(1),
+            job: JobId(1),
+        }
     }
 
     #[test]
@@ -254,7 +298,12 @@ mod tests {
             Ok(Response::Started(true)),
         ]);
         let d = run_job(&cfg, &ctx(&j), script.remote());
-        assert_eq!(d, Decision::Start { mate_started: Some(JobId(1)) });
+        assert_eq!(
+            d,
+            Decision::Start {
+                mate_started: Some(JobId(1))
+            }
+        );
         assert_eq!(
             script.seen,
             vec![
@@ -275,12 +324,20 @@ mod tests {
             Ok(Response::Started(true)),
         ]);
         let d = run_job(&cfg, &ctx(&j), script.remote());
-        assert_eq!(d, Decision::Start { mate_started: Some(JobId(1)) });
+        assert_eq!(
+            d,
+            Decision::Start {
+                mate_started: Some(JobId(1))
+            }
+        );
     }
 
     #[test]
     fn mate_queuing_unstartable_follows_local_scheme() {
-        for (scheme, expect) in [(Scheme::Hold, Decision::Hold), (Scheme::Yield, Decision::Yield)] {
+        for (scheme, expect) in [
+            (Scheme::Hold, Decision::Hold),
+            (Scheme::Yield, Decision::Yield),
+        ] {
             let j = job(1, true);
             let cfg = CoschedConfig::paper(scheme);
             let mut script = Script::new(vec![

@@ -122,7 +122,10 @@ impl CoschedConfig {
     /// Builder: cap the held-node fraction.
     pub fn with_max_held_fraction(mut self, frac: Option<f64>) -> Self {
         if let Some(f) = frac {
-            assert!((0.0..=1.0).contains(&f), "held fraction cap {f} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "held fraction cap {f} outside [0,1]"
+            );
         }
         self.max_held_fraction = frac;
         self

@@ -19,15 +19,22 @@
 //! enhancement ("the job queues on both machines keep growing, but no job
 //! can start").
 
-use crate::algorithm::{run_job, Decision, LocalContext};
+use crate::algorithm::{run_job_traced, Decision, LocalContext};
 use crate::config::CoupledConfig;
 use crate::registry::MateRegistry;
 use cosched_metrics::{JobRecord, MachineSummary};
+use cosched_obs::metrics::HistogramSnapshot;
+use cosched_obs::trace::RpcKind;
+use cosched_obs::{
+    Histogram, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer, Phase, PhaseProfiler,
+    PhaseSnapshot, TraceEvent,
+};
 use cosched_proto::{MateStatus, ProtoError, Request, Response};
-use cosched_sched::{JobStatus, Machine};
+use cosched_sched::{JobStatus, Machine, SchedStats};
 use cosched_sim::{EventQueue, SimDuration, SimTime};
 use cosched_workload::{Job, JobId, Trace};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Events driving the coupled simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +66,45 @@ pub struct RendezvousCounts {
     pub independent: usize,
 }
 
+/// Deterministic activity counters for one coupled run: protocol traffic
+/// plus Algorithm 1 transitions that do not already have a dedicated report
+/// field. Collected unconditionally (no observer needed), so reports are
+/// identical whether or not tracing is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Holds placed (Algorithm 1 lines 16–23, hold scheme).
+    pub holds: u64,
+    /// Yields taken (yield scheme).
+    pub yields: u64,
+    /// Hold→yield degradations forced by the held-capacity cap (§IV-E2).
+    pub degradations: u64,
+    /// Yield→hold escalations forced by the yield cap (§IV-E2).
+    pub escalations: u64,
+    /// Release sweeps that actually force-released holds (§IV-E1).
+    pub release_sweeps: u64,
+    /// Protocol requests issued between the two domains.
+    pub rpc_calls: u64,
+    /// Requests that failed with a transport error (down peer or injected
+    /// timeout); the caller falls back to start-normally fault tolerance.
+    pub rpc_timeouts: u64,
+}
+
+/// Everything a run produces: the deterministic report, the observer (to
+/// read back a sink), and the wall-clock profile kept strictly outside the
+/// report so same-seed runs stay byte-identical.
+pub struct RunArtifacts<O> {
+    /// The deterministic simulation outcome.
+    pub report: SimulationReport,
+    /// The observer handed to [`CoupledSimulation::with_observer`].
+    pub observer: O,
+    /// Wall-clock phase timings (scheduler iterations, release sweeps,
+    /// RPCs). Never folded into `report`.
+    pub profile: Vec<PhaseSnapshot>,
+    /// Wall-clock latency distribution of in-process protocol calls, in
+    /// nanoseconds. Never folded into `report`.
+    pub rpc_latency_ns: HistogramSnapshot,
+}
+
 /// Outcome of a coupled simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationReport {
@@ -84,6 +130,17 @@ pub struct SimulationReport {
     pub rendezvous: RendezvousCounts,
     /// Total events dispatched.
     pub events: u64,
+    /// Largest number of events simultaneously pending in the queue.
+    pub queue_high_water: usize,
+    /// Events cancelled before dispatch (re-armed sweep timers etc.).
+    pub events_cancelled: u64,
+    /// Deterministic run activity counters.
+    pub stats: RunStats,
+    /// Per-machine scheduler activity counters.
+    pub sched_stats: [SchedStats; 2],
+    /// The counters above plus derived histograms (pair offsets, waits) in
+    /// registry form, ready for serialization.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimulationReport {
@@ -95,13 +152,22 @@ impl SimulationReport {
 
     /// Largest observed pair start offset (zero when synchronized).
     pub fn max_pair_offset(&self) -> SimDuration {
-        self.pair_offsets.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.pair_offsets
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
 /// The coupled simulator: two machines, one event loop, protocol-mediated
 /// coordination.
-pub struct CoupledSimulation {
+///
+/// Generic over an [`Observer`] receiving the structured trace-event stream;
+/// the default [`NoopObserver`] is zero-sized and compiles every tracing
+/// path away. Observers are pure consumers: attaching one cannot change the
+/// simulation outcome.
+pub struct CoupledSimulation<O: Observer = NoopObserver> {
     config: CoupledConfig,
     machines: [Machine; 2],
     jobs: [Vec<Job>; 2],
@@ -124,6 +190,16 @@ pub struct CoupledSimulation {
     anchored_pairs: HashSet<(usize, JobId)>,
     /// Rendezvous audit: pairs committed via `TryStartMate`.
     direct_pairs: HashSet<(usize, JobId)>,
+    /// Fault injection: `GetMateStatus` calls to machine `m` time out, so
+    /// the caller sees `MateStatus::Unknown` and starts normally.
+    status_timeout: [bool; 2],
+    /// Deterministic run counters (always on).
+    stats: RunStats,
+    /// Wall-clock phase timings; never folded into the report.
+    profiler: PhaseProfiler,
+    /// Wall-clock in-process RPC latency; never folded into the report.
+    rpc_latency: Histogram,
+    observer: O,
 }
 
 impl CoupledSimulation {
@@ -133,6 +209,17 @@ impl CoupledSimulation {
     /// Panics if a trace's machine id does not match its config slot or the
     /// pairing between the traces is invalid.
     pub fn new(config: CoupledConfig, traces: [Trace; 2]) -> Self {
+        Self::with_observer(config, traces, NoopObserver)
+    }
+}
+
+impl<O: Observer> CoupledSimulation<O> {
+    /// Build a simulation whose trace-event stream feeds `observer`.
+    ///
+    /// # Panics
+    /// Panics if a trace's machine id does not match its config slot or the
+    /// pairing between the traces is invalid.
+    pub fn with_observer(config: CoupledConfig, traces: [Trace; 2], observer: O) -> Self {
         for (i, t) in traces.iter().enumerate() {
             assert_eq!(
                 t.machine(),
@@ -143,10 +230,15 @@ impl CoupledSimulation {
             );
         }
         let registry = MateRegistry::from_traces(&traces[0], &traces[1]);
-        let machines = [
+        let mut machines = [
             Machine::new(config.machines[0].clone()),
             Machine::new(config.machines[1].clone()),
         ];
+        if observer.active() {
+            for m in &mut machines {
+                m.set_tracing(true);
+            }
+        }
         let [ta, tb] = traces;
         CoupledSimulation {
             config,
@@ -162,6 +254,11 @@ impl CoupledSimulation {
             sweep_armed: [false, false],
             anchored_pairs: HashSet::new(),
             direct_pairs: HashSet::new(),
+            status_timeout: [false, false],
+            stats: RunStats::default(),
+            profiler: PhaseProfiler::new(),
+            rpc_latency: Histogram::new(),
+            observer,
         }
     }
 
@@ -169,6 +266,33 @@ impl CoupledSimulation {
     /// the remote system being down).
     pub fn set_reachable(&mut self, m: usize, up: bool) {
         self.reachable[m] = up;
+    }
+
+    /// Fault injection: make `GetMateStatus` calls to machine `m` time out.
+    /// Per Algorithm 1 lines 25–26 the caller treats the status as
+    /// `Unknown` and starts the ready job normally.
+    pub fn inject_status_timeout(&mut self, m: usize, on: bool) {
+        self.status_timeout[m] = on;
+    }
+
+    /// Construct-then-record helper: skips event construction entirely when
+    /// the observer is inactive (the no-op default).
+    #[inline]
+    fn emit(&mut self, machine: usize, make: impl FnOnce() -> TraceEvent) {
+        if self.observer.active() {
+            self.observer.record(self.now.as_secs(), machine, make());
+        }
+    }
+
+    /// Forward trace events the scheduler logged during its last calls,
+    /// stamped with the current instant.
+    fn drain_machine_trace(&mut self, m: usize) {
+        if !self.observer.active() {
+            return;
+        }
+        for ev in self.machines[m].take_trace() {
+            self.observer.record(self.now.as_secs(), m, ev);
+        }
     }
 
     /// Fault injection: make machine `m` report `Unknown` for `job`'s
@@ -193,7 +317,7 @@ impl CoupledSimulation {
     pub fn run_observed(
         mut self,
         every: u64,
-        mut observer: impl FnMut(&CoupledSimulation),
+        mut observer: impl FnMut(&CoupledSimulation<O>),
     ) -> SimulationReport {
         for m in 0..2 {
             for idx in 0..self.jobs[m].len() {
@@ -214,11 +338,17 @@ impl CoupledSimulation {
             }
             self.dispatch(ev.event);
         }
-        self.report(aborted)
+        self.report(aborted).report
     }
 
     /// Run to completion and build the report.
-    pub fn run(mut self) -> SimulationReport {
+    pub fn run(self) -> SimulationReport {
+        self.run_traced().report
+    }
+
+    /// Run to completion, returning the report together with the observer
+    /// (to read back an attached sink) and the wall-clock profile.
+    pub fn run_traced(mut self) -> RunArtifacts<O> {
         // Seed arrivals.
         for m in 0..2 {
             for idx in 0..self.jobs[m].len() {
@@ -252,6 +382,7 @@ impl CoupledSimulation {
                 self.iterate(m);
             }
             Event::ReleaseSweep { m } => {
+                let sweep_t0 = Instant::now();
                 self.sweep_armed[m] = false;
                 let Some(period) = self.config.cosched[m].release_period else {
                     return;
@@ -265,7 +396,8 @@ impl CoupledSimulation {
                     // Re-check one period from now (not from the oldest
                     // hold, which is already mature — that would spin).
                     if !self.machines[m].held_jobs().is_empty() {
-                        self.queue.push(self.now + period, Event::ReleaseSweep { m });
+                        self.queue
+                            .push(self.now + period, Event::ReleaseSweep { m });
                         self.sweep_armed[m] = true;
                     }
                     return;
@@ -279,10 +411,19 @@ impl CoupledSimulation {
                 // ages. Only the full batch lets the demoted-last iteration
                 // hand the entire held capacity to the waiting jobs first.
                 let held: Vec<JobId> = self.machines[m].held_jobs().to_vec();
+                let held_before = held.len();
                 for job in held {
                     self.machines[m].release_held(job, self.now);
                     self.forced_releases += 1;
+                    self.emit(m, || TraceEvent::CoschedDeadlockDemotion { job: job.0 });
                 }
+                self.stats.release_sweeps += 1;
+                self.emit(m, || TraceEvent::CoschedReleaseSweep {
+                    released: held_before,
+                    held_before,
+                });
+                self.profiler
+                    .record(Phase::ReleaseSweep, elapsed_ns(sweep_t0));
                 self.iterate(m);
                 // Re-arm for the re-created holds (they all begin at this
                 // instant, so the next sweep is one full `period` away).
@@ -294,11 +435,28 @@ impl CoupledSimulation {
     /// One scheduling iteration on machine `m`: drain ready candidates
     /// through Algorithm 1.
     fn iterate(&mut self, m: usize) {
+        let iter_t0 = Instant::now();
+        let (queued, running, free_nodes) = (
+            self.machines[m].queued_jobs().len(),
+            self.machines[m].running_jobs().len(),
+            self.machines[m].free_nodes(),
+        );
+        self.emit(m, || TraceEvent::SchedIterationStart {
+            queued,
+            running,
+            free_nodes,
+        });
         self.machines[m].begin_iteration();
+        let mut started = 0usize;
         while let Some(cand) = self.machines[m].pick_next(self.now) {
+            self.drain_machine_trace(m);
+            self.emit(m, || TraceEvent::SchedPick {
+                job: cand.job_id.0,
+                size: cand.size,
+                via_backfill: cand.via_backfill,
+            });
             let cfg = self.config.cosched[m].clone();
-            let job = self
-                .machines[m]
+            let job = self.machines[m]
                 .job(cand.job_id)
                 .expect("candidate exists")
                 .clone();
@@ -310,25 +468,69 @@ impl CoupledSimulation {
                 yields_so_far: self.machines[m].yields_of(cand.job_id),
             };
             let remote = 1 - m;
+            // Algorithm-internal events (§IV-E2 scheme shifts) are staged in
+            // a local buffer: the remote-call closure already borrows `self`.
+            let mut shifts: Vec<TraceEvent> = Vec::new();
             let decision = {
                 let this = &mut *self;
-                run_job(&cfg, &ctx, |req| this.remote_call(remote, req))
+                run_job_traced(
+                    &cfg,
+                    &ctx,
+                    |req| this.remote_call(remote, req),
+                    |ev| shifts.push(ev),
+                )
             };
+            for ev in shifts {
+                match ev {
+                    TraceEvent::CoschedHeldCapDegradation { .. } => self.stats.degradations += 1,
+                    TraceEvent::CoschedYieldCapEscalation { .. } => self.stats.escalations += 1,
+                    _ => {}
+                }
+                self.emit(m, || ev);
+            }
             match decision {
-                Decision::Start { .. } => {
+                Decision::Start { mate_started } => {
+                    started += 1;
+                    if let Some(mate) = mate_started {
+                        let anchored = self.anchored_pairs.contains(&(remote, mate));
+                        self.emit(m, || TraceEvent::CoschedRendezvousCommit {
+                            job: job.id.0,
+                            mate: mate.0,
+                            anchored,
+                        });
+                    }
+                    self.emit(m, || TraceEvent::CoschedStart {
+                        job: job.id.0,
+                        with_mate: mate_started.is_some(),
+                    });
                     let end = self.machines[m].start(cand, self.now);
                     let id = job.id;
                     self.queue.push(end, Event::JobEnd { m, job: id });
                 }
                 Decision::Hold => {
+                    self.stats.holds += 1;
+                    self.emit(m, || TraceEvent::CoschedHoldPlaced {
+                        job: job.id.0,
+                        nodes: cand.charged,
+                    });
                     self.machines[m].hold(cand, self.now);
                 }
                 Decision::Yield => {
+                    self.stats.yields += 1;
+                    let yields_so_far = ctx.yields_so_far + 1;
+                    self.emit(m, || TraceEvent::CoschedYield {
+                        job: job.id.0,
+                        yields_so_far,
+                    });
                     self.machines[m].yield_job(cand, self.now);
                 }
             }
         }
+        self.drain_machine_trace(m);
+        self.emit(m, || TraceEvent::SchedIterationEnd { started });
         self.arm_sweep_if_needed(m);
+        self.profiler
+            .record(Phase::SchedulerIteration, elapsed_ns(iter_t0));
     }
 
     /// Is any queued job on machine `m` blocked by nodes that holds are
@@ -355,7 +557,9 @@ impl CoupledSimulation {
         if self.sweep_armed[m] {
             return;
         }
-        let Some(period) = self.config.cosched[m].release_period else { return };
+        let Some(period) = self.config.cosched[m].release_period else {
+            return;
+        };
         let oldest = self.machines[m]
             .held_jobs()
             .iter()
@@ -372,10 +576,30 @@ impl CoupledSimulation {
     /// in-process "wire". Starting side effects schedule the corresponding
     /// end events.
     fn remote_call(&mut self, m: usize, req: &Request) -> Result<Response, ProtoError> {
+        let rpc_t0 = Instant::now();
+        let kind = rpc_kind(req);
+        self.stats.rpc_calls += 1;
+        let result = self.remote_call_inner(m, req);
+        let nanos = elapsed_ns(rpc_t0);
+        self.rpc_latency.record(nanos);
+        self.profiler.record(Phase::RpcCall, nanos);
+        if result.is_err() {
+            self.stats.rpc_timeouts += 1;
+            self.emit(m, || TraceEvent::RpcTimeout { kind });
+        } else {
+            self.emit(m, || TraceEvent::RpcCall { kind, ok: true });
+        }
+        result
+    }
+
+    fn remote_call_inner(&mut self, m: usize, req: &Request) -> Result<Response, ProtoError> {
         if !self.reachable[m] {
             return Err(ProtoError::Disconnected(format!(
                 "machine {m} is down (fault injection)"
             )));
+        }
+        if self.status_timeout[m] && matches!(req, Request::GetMateStatus { .. }) {
+            return Err(ProtoError::Timeout);
         }
         let caller_machine = self.config.machines[1 - m].machine;
         Ok(match req {
@@ -408,8 +632,7 @@ impl CoupledSimulation {
             Request::StartJob { job } => {
                 // Normal path: the mate is holding. Fall back to a direct
                 // start if a release timer raced it back into the queue.
-                let started = self
-                    .machines[m]
+                let started = self.machines[m]
                     .start_held(*job, self.now)
                     .or_else(|| self.machines[m].try_start_direct(*job, self.now));
                 match started {
@@ -428,7 +651,7 @@ impl CoupledSimulation {
         })
     }
 
-    fn report(mut self, aborted: bool) -> SimulationReport {
+    fn report(mut self, aborted: bool) -> RunArtifacts<O> {
         let horizon = self.now;
         let held_ns = [
             self.machines[0].held_node_seconds(horizon),
@@ -486,7 +709,18 @@ impl CoupledSimulation {
         }
         pair_offsets.sort();
         let deadlocked = !aborted && (unfinished[0] > 0 || unfinished[1] > 0);
-        SimulationReport {
+        let sched_stats = [self.machines[0].stats(), self.machines[1].stats()];
+        let metrics = build_metrics(
+            &self.stats,
+            &sched_stats,
+            self.forced_releases,
+            self.events,
+            self.queue.high_water(),
+            self.queue.cancelled(),
+            &pair_offsets,
+            &records,
+        );
+        let report = SimulationReport {
             records,
             summaries,
             horizon,
@@ -497,8 +731,84 @@ impl CoupledSimulation {
             pair_offsets,
             rendezvous,
             events: self.events,
+            queue_high_water: self.queue.high_water(),
+            events_cancelled: self.queue.cancelled(),
+            stats: self.stats,
+            sched_stats,
+            metrics,
+        };
+        let mut observer = self.observer;
+        observer.flush();
+        RunArtifacts {
+            report,
+            observer,
+            profile: self.profiler.snapshot(),
+            rpc_latency_ns: self.rpc_latency.snapshot("rpc.latency_ns"),
         }
     }
+}
+
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Map a protocol request to its trace-event kind tag.
+fn rpc_kind(req: &Request) -> RpcKind {
+    match req {
+        Request::GetMateJob { .. } => RpcKind::GetMateJob,
+        Request::GetMateStatus { .. } => RpcKind::GetMateStatus,
+        Request::TryStartMate { .. } => RpcKind::TryStartMate,
+        Request::StartJob { .. } => RpcKind::StartJob,
+        Request::CanStart { .. } => RpcKind::CanStart,
+        Request::Ping => RpcKind::Ping,
+    }
+}
+
+/// Fold the deterministic counters and derived distributions into a
+/// [`MetricsSnapshot`]. Everything here is a pure function of simulation
+/// state — no wall clock — so identical seeds yield identical snapshots.
+#[allow(clippy::too_many_arguments)]
+fn build_metrics(
+    stats: &RunStats,
+    sched: &[SchedStats; 2],
+    forced_releases: u64,
+    events: u64,
+    queue_high_water: usize,
+    events_cancelled: u64,
+    pair_offsets: &[SimDuration],
+    records: &[Vec<JobRecord>; 2],
+) -> MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    reg.set("engine.events_dispatched", events);
+    reg.set("engine.queue_high_water", queue_high_water as u64);
+    reg.set("engine.events_cancelled", events_cancelled);
+    reg.set("cosched.holds", stats.holds);
+    reg.set("cosched.yields", stats.yields);
+    reg.set("cosched.degradations", stats.degradations);
+    reg.set("cosched.escalations", stats.escalations);
+    reg.set("cosched.release_sweeps", stats.release_sweeps);
+    reg.set("cosched.forced_releases", forced_releases);
+    reg.set("rpc.calls", stats.rpc_calls);
+    reg.set("rpc.timeouts", stats.rpc_timeouts);
+    let agg = |f: fn(&SchedStats) -> u64| f(&sched[0]) + f(&sched[1]);
+    reg.set("sched.iterations", agg(|s| s.iterations));
+    reg.set("sched.picks", agg(|s| s.picks));
+    reg.set("sched.backfill_hits", agg(|s| s.backfill_hits));
+    reg.set("sched.drains_engaged", agg(|s| s.drains_engaged));
+    reg.set("sched.alloc_fail_capacity", agg(|s| s.alloc_fail_capacity));
+    reg.set(
+        "sched.alloc_fail_fragmentation",
+        agg(|s| s.alloc_fail_fragmentation),
+    );
+    for d in pair_offsets {
+        reg.observe("pair.start_offset_secs", d.as_secs());
+    }
+    for recs in records {
+        for r in recs {
+            reg.observe("job.wait_secs", r.wait().as_secs());
+        }
+    }
+    reg.snapshot()
 }
 
 #[cfg(test)]
@@ -506,8 +816,8 @@ mod tests {
     use super::*;
     use crate::config::{CoschedConfig, SchemeCombo};
     use cosched_sched::MachineConfig;
-    use cosched_workload::{pairing, MachineId};
     use cosched_sim::SimRng;
+    use cosched_workload::{pairing, MachineId};
 
     fn mk(machine: usize, id: u64, submit: u64, size: u64, runtime: u64) -> Job {
         Job::new(
@@ -597,7 +907,10 @@ mod tests {
         let report = CoupledSimulation::new(small_config(SchemeCombo::YY), paired_traces()).run();
         assert_eq!(report.summaries[0].lost_node_hours, 0.0);
         assert_eq!(report.summaries[1].lost_node_hours, 0.0);
-        assert_eq!(report.summaries[0].total_holds + report.summaries[1].total_holds, 0);
+        assert_eq!(
+            report.summaries[0].total_holds + report.summaries[1].total_holds,
+            0
+        );
     }
 
     /// The Fig. 2 scenario: a1 holds 60 nodes on A waiting for b1; b2 holds
@@ -614,10 +927,22 @@ mod tests {
         );
         // Pair a1↔b1 and a2↔b2 explicitly.
         use cosched_workload::MateRef;
-        a.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(1), job: JobId(1) });
-        b.jobs_mut()[1].mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
-        a.jobs_mut()[1].mate = Some(MateRef { machine: MachineId(1), job: JobId(2) });
-        b.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(0), job: JobId(2) });
+        a.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(1),
+        });
+        b.jobs_mut()[1].mate = Some(MateRef {
+            machine: MachineId(0),
+            job: JobId(1),
+        });
+        a.jobs_mut()[1].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(2),
+        });
+        b.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(0),
+            job: JobId(2),
+        });
         [a, b]
     }
 
@@ -634,9 +959,11 @@ mod tests {
 
     #[test]
     fn hold_hold_with_breaker_completes() {
-        let report =
-            CoupledSimulation::new(small_config(SchemeCombo::HH), deadlock_traces()).run();
-        assert!(!report.deadlocked, "breaker should resolve the circular wait");
+        let report = CoupledSimulation::new(small_config(SchemeCombo::HH), deadlock_traces()).run();
+        assert!(
+            !report.deadlocked,
+            "breaker should resolve the circular wait"
+        );
         assert_eq!(report.unfinished, [0, 0]);
         assert!(report.forced_releases > 0, "breaker must have fired");
         assert!(report.all_pairs_synchronized());
@@ -648,7 +975,11 @@ mod tests {
         sim.set_reachable(1, false);
         let report = sim.run();
         assert!(!report.deadlocked);
-        assert_eq!(report.records[0].len(), 2, "machine 0 proceeds despite dead peer");
+        assert_eq!(
+            report.records[0].len(),
+            2,
+            "machine 0 proceeds despite dead peer"
+        );
         // Pairs cannot be synchronized with a dead peer — but nothing hangs.
         assert_eq!(report.unfinished[0], 0);
     }
@@ -696,6 +1027,78 @@ mod tests {
         assert_eq!(r1.records, r2.records);
         assert_eq!(r1.events, r2.events);
         assert_eq!(r1.pair_offsets, r2.pair_offsets);
+        assert_eq!(r1.metrics, r2.metrics);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn traced_run_is_pure_observation() {
+        use cosched_obs::{SinkObserver, VecSink};
+        let plain = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces()).run();
+        let arts = CoupledSimulation::with_observer(
+            small_config(SchemeCombo::HH),
+            paired_traces(),
+            SinkObserver::new(VecSink::default()),
+        )
+        .run_traced();
+        // Attaching an observer must not change any deterministic output.
+        assert_eq!(arts.report.records, plain.records);
+        assert_eq!(arts.report.events, plain.events);
+        assert_eq!(arts.report.stats, plain.stats);
+        assert_eq!(arts.report.sched_stats, plain.sched_stats);
+        assert_eq!(arts.report.metrics, plain.metrics);
+        assert!(plain.stats.holds > 0, "HH scenario places holds");
+        assert!(plain.stats.rpc_calls > 0);
+        assert_eq!(plain.metrics.counter("cosched.holds"), plain.stats.holds);
+
+        let kinds: HashSet<&str> = arts
+            .observer
+            .sink()
+            .records
+            .iter()
+            .map(|r| r.event.kind())
+            .collect();
+        for expected in [
+            "sched-iteration-start",
+            "sched-iteration-end",
+            "sched-pick",
+            "cosched-hold-placed",
+            "cosched-rendezvous-commit",
+            "cosched-start",
+            "rpc-call",
+        ] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+        // Records arrive in nondecreasing sim time.
+        let times: Vec<u64> = arts
+            .observer
+            .sink()
+            .records
+            .iter()
+            .map(|r| r.time)
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace times out of order"
+        );
+    }
+
+    #[test]
+    fn injected_status_timeout_starts_normally_and_counts() {
+        let mut sim = CoupledSimulation::new(small_config(SchemeCombo::HH), paired_traces());
+        sim.inject_status_timeout(1, true);
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert_eq!(report.unfinished[0], 0, "timeouts must not wedge machine 0");
+        assert!(
+            report.stats.rpc_timeouts > 0,
+            "timeouts counted: {:?}",
+            report.stats
+        );
+        assert_eq!(
+            report.metrics.counter("rpc.timeouts"),
+            report.stats.rpc_timeouts
+        );
     }
 
     #[test]
@@ -704,7 +1107,10 @@ mod tests {
         cfg.max_events = 3;
         let report = CoupledSimulation::new(cfg, paired_traces()).run();
         assert!(report.aborted);
-        assert!(!report.deadlocked, "aborted runs are not reported as deadlock");
+        assert!(
+            !report.deadlocked,
+            "aborted runs are not reported as deadlock"
+        );
     }
 
     #[test]

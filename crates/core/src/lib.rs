@@ -31,8 +31,8 @@ pub mod nway;
 pub mod registry;
 pub mod temporal;
 
-pub use algorithm::{run_job, Decision, LocalContext};
+pub use algorithm::{run_job, run_job_traced, Decision, LocalContext};
 pub use config::{CoschedConfig, CoupledConfig, Scheme, SchemeCombo};
-pub use driver::{CoupledSimulation, SimulationReport};
+pub use driver::{CoupledSimulation, RunArtifacts, RunStats, SimulationReport};
 pub use nway::{GroupId, GroupRegistry, NwayConfig, NwayReport, NwaySimulation};
 pub use registry::MateRegistry;

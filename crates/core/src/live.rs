@@ -43,7 +43,12 @@ impl LiveDomain {
     /// Wrap a machine with its local coscheduling config and the pairing
     /// registry. `peer` is the other domain's machine id (used to resolve
     /// incoming `get_mate_job` calls).
-    pub fn new(machine: Machine, cfg: CoschedConfig, registry: MateRegistry, peer: MachineId) -> Self {
+    pub fn new(
+        machine: Machine,
+        cfg: CoschedConfig,
+        registry: MateRegistry,
+        peer: MachineId,
+    ) -> Self {
         LiveDomain {
             inner: Arc::new(Mutex::new(Inner {
                 machine,
@@ -128,7 +133,11 @@ impl LiveDomain {
             let picked = {
                 let mut g = self.inner.lock();
                 g.machine.pick_next(now).map(|cand| {
-                    let job = g.machine.job(cand.job_id).expect("candidate exists").clone();
+                    let job = g
+                        .machine
+                        .job(cand.job_id)
+                        .expect("candidate exists")
+                        .clone();
                     let capacity = g.machine.config().capacity;
                     let held = g.machine.held_nodes();
                     let yields = g.machine.yields_of(cand.job_id);
@@ -163,7 +172,9 @@ impl LiveDomain {
     /// Force-release holds older than the configured release period.
     fn fire_due_releases(&self, now: SimTime) {
         let mut g = self.inner.lock();
-        let Some(period) = g.cfg.release_period else { return };
+        let Some(period) = g.cfg.release_period else {
+            return;
+        };
         let due: Vec<JobId> = g
             .machine
             .held_jobs()
@@ -314,10 +325,12 @@ mod tests {
         impl Transport for Stub {
             fn call(&mut self, req: &Request) -> Result<Response, cosched_proto::ProtoError> {
                 Ok(match req {
-                    Request::GetMateJob { .. } => Response::MateJob(Some(cosched_workload::MateRef {
-                        machine: MachineId(1),
-                        job: JobId(1),
-                    })),
+                    Request::GetMateJob { .. } => {
+                        Response::MateJob(Some(cosched_workload::MateRef {
+                            machine: MachineId(1),
+                            job: JobId(1),
+                        }))
+                    }
                     Request::GetMateStatus { .. } => Response::MateStatus(MateStatus::Queuing),
                     Request::TryStartMate { .. } => Response::Started(false),
                     _ => Response::Error("unexpected".into()),
@@ -358,7 +371,10 @@ mod tests {
         }
         a.submit(job(0, 1, 4, 60), SimTime::ZERO);
         a.pump(SimTime::ZERO, &mut Dead);
-        assert!(a.held().is_empty(), "fault tolerance: no waiting on a dead peer");
+        assert!(
+            a.held().is_empty(),
+            "fault tolerance: no waiting on a dead peer"
+        );
         assert_eq!(a.complete_due(SimTime::from_secs(60)), 1);
         assert!(a.drained());
     }

@@ -110,7 +110,10 @@ impl GroupRegistry {
                     .iter_mut()
                     .find(|job| job.id == j)
                     .unwrap_or_else(|| panic!("group member {m}/{j} missing from trace"));
-                job.mate = Some(MateRef { machine: nm, job: nj });
+                job.mate = Some(MateRef {
+                    machine: nm,
+                    job: nj,
+                });
             }
         }
     }
@@ -195,13 +198,28 @@ impl NwaySimulation {
     /// Panics on config/trace arity mismatch or invalid group membership.
     pub fn new(config: NwayConfig, mut traces: Vec<Trace>, registry: GroupRegistry) -> Self {
         assert_eq!(config.machines.len(), traces.len(), "one trace per machine");
-        assert_eq!(config.machines.len(), config.cosched.len(), "one cosched config per machine");
-        assert!(config.machines.len() >= 2, "an N-way system needs at least two machines");
+        assert_eq!(
+            config.machines.len(),
+            config.cosched.len(),
+            "one cosched config per machine"
+        );
+        assert!(
+            config.machines.len() >= 2,
+            "an N-way system needs at least two machines"
+        );
         for (cfg, t) in config.machines.iter().zip(&traces) {
-            assert_eq!(cfg.machine, t.machine(), "trace order must match machine order");
+            assert_eq!(
+                cfg.machine,
+                t.machine(),
+                "trace order must match machine order"
+            );
         }
         registry.stamp_rings(&mut traces);
-        let machines: Vec<Machine> = config.machines.iter().map(|c| Machine::new(c.clone())).collect();
+        let machines: Vec<Machine> = config
+            .machines
+            .iter()
+            .map(|c| Machine::new(c.clone()))
+            .collect();
         let index = config
             .machines
             .iter()
@@ -351,7 +369,9 @@ impl NwaySimulation {
 
     fn sweep(&mut self, m: usize) {
         self.sweep_armed[m] = false;
-        let Some(period) = self.config.cosched[m].release_period else { return };
+        let Some(period) = self.config.cosched[m].release_period else {
+            return;
+        };
         let held = self.machines[m].held_nodes();
         let free = self.machines[m].free_nodes();
         let blocked = held > 0
@@ -361,7 +381,8 @@ impl NwaySimulation {
             });
         if !blocked {
             if !self.machines[m].held_jobs().is_empty() {
-                self.queue.push(self.now + period, Event::ReleaseSweep { m });
+                self.queue
+                    .push(self.now + period, Event::ReleaseSweep { m });
                 self.sweep_armed[m] = true;
             }
             return;
@@ -388,7 +409,9 @@ impl NwaySimulation {
         if self.sweep_armed[m] {
             return;
         }
-        let Some(period) = self.config.cosched[m].release_period else { return };
+        let Some(period) = self.config.cosched[m].release_period else {
+            return;
+        };
         let oldest = self.machines[m]
             .held_jobs()
             .iter()
@@ -510,7 +533,11 @@ mod tests {
         let report = NwaySimulation::new(config(3, Scheme::Hold), traces, reg).run();
         assert!(!report.deadlocked);
         assert_eq!(report.group_spreads.len(), 1);
-        assert!(report.all_groups_synchronized(), "spread {:?}", report.group_spreads);
+        assert!(
+            report.all_groups_synchronized(),
+            "spread {:?}",
+            report.group_spreads
+        );
         // Rendezvous gated by machine 2's filler: start at t=300.
         let s0 = report.records[0][0].start;
         assert_eq!(s0, SimTime::from_secs(300));
@@ -521,8 +548,15 @@ mod tests {
         let (traces, reg) = three_way_traces();
         let report = NwaySimulation::new(config(3, Scheme::Yield), traces, reg).run();
         assert!(!report.deadlocked);
-        assert!(report.all_groups_synchronized(), "spread {:?}", report.group_spreads);
-        assert_eq!(report.summaries.iter().map(|s| s.total_holds).sum::<u64>(), 0);
+        assert!(
+            report.all_groups_synchronized(),
+            "spread {:?}",
+            report.group_spreads
+        );
+        assert_eq!(
+            report.summaries.iter().map(|s| s.total_holds).sum::<u64>(),
+            0
+        );
     }
 
     #[test]
@@ -545,7 +579,11 @@ mod tests {
             .collect();
         let report = NwaySimulation::new(config(n, Scheme::Hold), traces, reg).run();
         assert!(!report.deadlocked);
-        assert!(report.all_groups_synchronized(), "spread {:?}", report.group_spreads);
+        assert!(
+            report.all_groups_synchronized(),
+            "spread {:?}",
+            report.group_spreads
+        );
         for recs in &report.records {
             let r = recs.iter().find(|r| r.id == JobId(1)).unwrap();
             assert_eq!(r.start, SimTime::from_secs(777));
@@ -561,8 +599,14 @@ mod tests {
             vec![(MachineId(0), JobId(1)), (MachineId(1), JobId(1))],
         );
         let traces = vec![
-            Trace::from_jobs(MachineId(0), vec![job(0, 1, 0, 40, 600), job(0, 2, 5, 10, 100)]),
-            Trace::from_jobs(MachineId(1), vec![job(1, 1, 0, 40, 600), job(1, 2, 5, 10, 100)]),
+            Trace::from_jobs(
+                MachineId(0),
+                vec![job(0, 1, 0, 40, 600), job(0, 2, 5, 10, 100)],
+            ),
+            Trace::from_jobs(
+                MachineId(1),
+                vec![job(1, 1, 0, 40, 600), job(1, 2, 5, 10, 100)],
+            ),
         ];
         let report = NwaySimulation::new(config(2, Scheme::Hold), traces, reg).run();
         assert!(!report.deadlocked);
@@ -604,12 +648,19 @@ mod tests {
             c.release_period = None;
         }
         let report = NwaySimulation::new(cfg, traces.clone(), reg.clone()).run();
-        assert!(report.deadlocked, "3-cycle must deadlock without the breaker");
+        assert!(
+            report.deadlocked,
+            "3-cycle must deadlock without the breaker"
+        );
         // With it: completes and synchronizes.
         let report = NwaySimulation::new(config(3, Scheme::Hold), traces, reg).run();
         assert!(!report.deadlocked);
         assert!(report.forced_releases > 0);
-        assert!(report.all_groups_synchronized(), "spreads {:?}", report.group_spreads);
+        assert!(
+            report.all_groups_synchronized(),
+            "spreads {:?}",
+            report.group_spreads
+        );
     }
 
     #[test]
@@ -626,15 +677,24 @@ mod tests {
     #[should_panic(expected = "already in a group")]
     fn group_rejects_double_membership() {
         let mut reg = GroupRegistry::new();
-        reg.insert_group(GroupId(1), vec![(MachineId(0), JobId(1)), (MachineId(1), JobId(1))]);
-        reg.insert_group(GroupId(2), vec![(MachineId(0), JobId(1)), (MachineId(2), JobId(1))]);
+        reg.insert_group(
+            GroupId(1),
+            vec![(MachineId(0), JobId(1)), (MachineId(1), JobId(1))],
+        );
+        reg.insert_group(
+            GroupId(2),
+            vec![(MachineId(0), JobId(1)), (MachineId(2), JobId(1))],
+        );
     }
 
     #[test]
     fn registry_queries() {
         let mut reg = GroupRegistry::new();
         assert!(reg.is_empty());
-        reg.insert_group(GroupId(7), vec![(MachineId(0), JobId(1)), (MachineId(1), JobId(2))]);
+        reg.insert_group(
+            GroupId(7),
+            vec![(MachineId(0), JobId(1)), (MachineId(1), JobId(2))],
+        );
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.group_of(MachineId(0), JobId(1)), Some(GroupId(7)));
         assert_eq!(reg.group_of(MachineId(1), JobId(2)), Some(GroupId(7)));

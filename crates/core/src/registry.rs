@@ -40,8 +40,20 @@ impl MateRegistry {
 
     /// Register one pair explicitly (both directions).
     pub fn insert_pair(&mut self, a: (MachineId, JobId), b: (MachineId, JobId)) {
-        self.map.insert(a, MateRef { machine: b.0, job: b.1 });
-        self.map.insert(b, MateRef { machine: a.0, job: a.1 });
+        self.map.insert(
+            a,
+            MateRef {
+                machine: b.0,
+                job: b.1,
+            },
+        );
+        self.map.insert(
+            b,
+            MateRef {
+                machine: a.0,
+                job: a.1,
+            },
+        );
     }
 
     /// The mate of `job` on `machine`, if any.
@@ -95,9 +107,21 @@ mod tests {
         let reg = MateRegistry::from_traces(&a, &b);
         assert_eq!(reg.pair_count(), 1);
         let mate = reg.mate_of(MachineId(0), JobId(1)).unwrap();
-        assert_eq!(mate, MateRef { machine: MachineId(1), job: JobId(1) });
+        assert_eq!(
+            mate,
+            MateRef {
+                machine: MachineId(1),
+                job: JobId(1)
+            }
+        );
         let back = reg.mate_of(MachineId(1), JobId(1)).unwrap();
-        assert_eq!(back, MateRef { machine: MachineId(0), job: JobId(1) });
+        assert_eq!(
+            back,
+            MateRef {
+                machine: MachineId(0),
+                job: JobId(1)
+            }
+        );
         assert_eq!(reg.mate_of(MachineId(0), JobId(2)), None);
     }
 
@@ -106,7 +130,10 @@ mod tests {
     fn rejects_asymmetric_traces() {
         let (mut a, b) = paired_traces();
         // Corrupt: point job 2 at a job that doesn't reciprocate.
-        a.jobs_mut()[1].mate = Some(MateRef { machine: MachineId(1), job: JobId(2) });
+        a.jobs_mut()[1].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(2),
+        });
         MateRegistry::from_traces(&a, &b);
     }
 
@@ -117,7 +144,10 @@ mod tests {
         assert_eq!(reg.pair_count(), 1);
         assert_eq!(
             reg.mate_of(MachineId(1), JobId(9)),
-            Some(MateRef { machine: MachineId(0), job: JobId(7) })
+            Some(MateRef {
+                machine: MachineId(0),
+                job: JobId(7)
+            })
         );
     }
 

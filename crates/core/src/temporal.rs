@@ -78,11 +78,21 @@ pub struct ConstraintOutcome {
 /// Events of the temporal simulation.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Arrival { m: usize, idx: usize },
-    JobEnd { m: usize, job: JobId },
-    ReleaseSweep { m: usize },
+    Arrival {
+        m: usize,
+        idx: usize,
+    },
+    JobEnd {
+        m: usize,
+        job: JobId,
+    },
+    ReleaseSweep {
+        m: usize,
+    },
     /// A gated successor becomes eligible for submission.
-    ReleaseSuccessor { job: JobId },
+    ReleaseSuccessor {
+        job: JobId,
+    },
 }
 
 /// Report of a temporal-constraint run.
@@ -149,7 +159,8 @@ impl TemporalSimulation {
         constraints: Vec<ConstraintInstance>,
     ) -> Self {
         let mut by_job: HashMap<(usize, JobId), Vec<usize>> = HashMap::new();
-        let mut driving: std::collections::HashSet<(usize, JobId)> = std::collections::HashSet::new();
+        let mut driving: std::collections::HashSet<(usize, JobId)> =
+            std::collections::HashSet::new();
         for (i, c) in constraints.iter().enumerate() {
             assert!(
                 traces[0].get(c.a).is_some(),
@@ -183,7 +194,10 @@ impl TemporalSimulation {
         let names = [machines[0].name.clone(), machines[1].name.clone()];
         let [ta, tb] = traces;
         TemporalSimulation {
-            machines: [Machine::new(machines[0].clone()), Machine::new(machines[1].clone())],
+            machines: [
+                Machine::new(machines[0].clone()),
+                Machine::new(machines[1].clone()),
+            ],
             cosched,
             capacities,
             names,
@@ -259,21 +273,23 @@ impl TemporalSimulation {
         // Successors of StartAfter constraints are gated until the
         // predecessor starts (plus min_delay).
         if m == 1 {
-            let gate = self.driving_constraint(1, job.id).and_then(|c| match c.constraint {
-                TemporalConstraint::StartAfter { min_delay, .. } => Some((c.a, min_delay)),
-                _ => None,
-            });
+            let gate = self
+                .driving_constraint(1, job.id)
+                .and_then(|c| match c.constraint {
+                    TemporalConstraint::StartAfter { min_delay, .. } => Some((c.a, min_delay)),
+                    _ => None,
+                });
             if let Some((pred, min_delay)) = gate {
                 match self.machines[0].status(pred) {
                     JobStatus::Running | JobStatus::Finished => {
-                        let pred_start = self
-                            .machines[0]
+                        let pred_start = self.machines[0]
                             .start_of(pred)
                             .expect("running/finished job has a start");
                         let eligible = pred_start + min_delay;
                         if eligible > self.now {
                             self.gated.insert(job.id, idx);
-                            self.queue.push(eligible, Event::ReleaseSuccessor { job: job.id });
+                            self.queue
+                                .push(eligible, Event::ReleaseSuccessor { job: job.id });
                             return;
                         }
                     }
@@ -341,15 +357,28 @@ impl TemporalSimulation {
                 match self.machines[other_m].status(other_id) {
                     JobStatus::Held => {
                         if let Some(end) = self.machines[other_m].start_held(other_id, self.now) {
-                            self.queue.push(end, Event::JobEnd { m: other_m, job: other_id });
+                            self.queue.push(
+                                end,
+                                Event::JobEnd {
+                                    m: other_m,
+                                    job: other_id,
+                                },
+                            );
                             self.on_started(other_m, other_id);
                         }
                         TDecision::Start
                     }
                     JobStatus::Queued | JobStatus::Unsubmitted => {
-                        if let Some(end) = self.machines[other_m].try_start_direct(other_id, self.now)
+                        if let Some(end) =
+                            self.machines[other_m].try_start_direct(other_id, self.now)
                         {
-                            self.queue.push(end, Event::JobEnd { m: other_m, job: other_id });
+                            self.queue.push(
+                                end,
+                                Event::JobEnd {
+                                    m: other_m,
+                                    job: other_id,
+                                },
+                            );
                             self.on_started(other_m, other_id);
                             TDecision::Start
                         } else {
@@ -364,11 +393,25 @@ impl TemporalSimulation {
                 // block — the window gives slack, and the report grades it.
                 if self.machines[other_m].status(other_id) == JobStatus::Held {
                     if let Some(end) = self.machines[other_m].start_held(other_id, self.now) {
-                        self.queue.push(end, Event::JobEnd { m: other_m, job: other_id });
+                        self.queue.push(
+                            end,
+                            Event::JobEnd {
+                                m: other_m,
+                                job: other_id,
+                            },
+                        );
                         self.on_started(other_m, other_id);
                     }
-                } else if let Some(end) = self.machines[other_m].try_start_direct(other_id, self.now) {
-                    self.queue.push(end, Event::JobEnd { m: other_m, job: other_id });
+                } else if let Some(end) =
+                    self.machines[other_m].try_start_direct(other_id, self.now)
+                {
+                    self.queue.push(
+                        end,
+                        Event::JobEnd {
+                            m: other_m,
+                            job: other_id,
+                        },
+                    );
                     self.on_started(other_m, other_id);
                 }
                 TDecision::Start
@@ -386,8 +429,8 @@ impl TemporalSimulation {
         match cfg.scheme {
             Scheme::Hold => {
                 if let Some(cap) = cfg.max_held_fraction {
-                    let would =
-                        (self.machines[m].held_nodes() + charged) as f64 / self.capacities[m] as f64;
+                    let would = (self.machines[m].held_nodes() + charged) as f64
+                        / self.capacities[m] as f64;
                     if would > cap {
                         return Scheme::Yield;
                     }
@@ -407,7 +450,9 @@ impl TemporalSimulation {
 
     fn sweep(&mut self, m: usize) {
         self.sweep_armed[m] = false;
-        let Some(period) = self.cosched[m].release_period else { return };
+        let Some(period) = self.cosched[m].release_period else {
+            return;
+        };
         let matured: Vec<JobId> = self.machines[m]
             .held_jobs()
             .iter()
@@ -429,7 +474,9 @@ impl TemporalSimulation {
         if self.sweep_armed[m] {
             return;
         }
-        let Some(period) = self.cosched[m].release_period else { return };
+        let Some(period) = self.cosched[m].release_period else {
+            return;
+        };
         let oldest = self.machines[m]
             .held_jobs()
             .iter()
@@ -451,10 +498,25 @@ impl TemporalSimulation {
         let unfinished = self.jobs[0].len() + self.jobs[1].len()
             - self.machines[0].records().len()
             - self.machines[1].records().len();
-        let records = [self.machines[0].take_records(), self.machines[1].take_records()];
+        let records = [
+            self.machines[0].take_records(),
+            self.machines[1].take_records(),
+        ];
         let summaries = [
-            MachineSummary::from_records(self.names[0].clone(), &records[0], self.capacities[0], horizon, held[0]),
-            MachineSummary::from_records(self.names[1].clone(), &records[1], self.capacities[1], horizon, held[1]),
+            MachineSummary::from_records(
+                self.names[0].clone(),
+                &records[0],
+                self.capacities[0],
+                horizon,
+                held[0],
+            ),
+            MachineSummary::from_records(
+                self.names[1].clone(),
+                &records[1],
+                self.capacities[1],
+                horizon,
+                held[1],
+            ),
         ];
         let starts: [HashMap<JobId, SimTime>; 2] = [
             records[0].iter().map(|r| (r.id, r.start)).collect(),
@@ -470,9 +532,10 @@ impl TemporalSimulation {
             let satisfied = match c.constraint {
                 TemporalConstraint::CoStart => offset.is_zero(),
                 TemporalConstraint::StartWithin { window } => offset <= window,
-                TemporalConstraint::StartAfter { min_delay, max_delay } => {
-                    !b_before_a && offset >= min_delay && offset <= max_delay
-                }
+                TemporalConstraint::StartAfter {
+                    min_delay,
+                    max_delay,
+                } => !b_before_a && offset >= min_delay && offset <= max_delay,
             };
             outcomes.push(ConstraintOutcome {
                 instance: *c,
@@ -522,20 +585,30 @@ mod tests {
     }
 
     fn cosched() -> [CoschedConfig; 2] {
-        [CoschedConfig::paper(Scheme::Hold), CoschedConfig::paper(Scheme::Yield)]
+        [
+            CoschedConfig::paper(Scheme::Hold),
+            CoschedConfig::paper(Scheme::Yield),
+        ]
     }
 
     #[test]
     fn costart_constraint_behaves_like_coscheduling() {
         let traces = [
             Trace::from_jobs(MachineId(0), vec![job(0, 1, 0, 40, 600)]),
-            Trace::from_jobs(MachineId(1), vec![job(1, 9, 0, 100, 300), job(1, 1, 30, 40, 600)]),
+            Trace::from_jobs(
+                MachineId(1),
+                vec![job(1, 9, 0, 100, 300), job(1, 1, 30, 40, 600)],
+            ),
         ];
         let report = TemporalSimulation::new(
             machines(),
             cosched(),
             traces,
-            vec![ConstraintInstance { a: JobId(1), b: JobId(1), constraint: TemporalConstraint::CoStart }],
+            vec![ConstraintInstance {
+                a: JobId(1),
+                b: JobId(1),
+                constraint: TemporalConstraint::CoStart,
+            }],
         )
         .run();
         assert!(!report.deadlocked);
@@ -576,7 +649,11 @@ mod tests {
         assert_eq!(wide.outcomes[0].offset, SimDuration::from_secs(300));
 
         let narrow = run(SimDuration::from_secs(100));
-        assert_eq!(narrow.violations(), 1, "window too small must be graded violated");
+        assert_eq!(
+            narrow.violations(),
+            1,
+            "window too small must be graded violated"
+        );
     }
 
     #[test]
@@ -603,7 +680,11 @@ mod tests {
         .run();
         assert!(!report.deadlocked);
         let sb = report.records[1][0].start;
-        assert_eq!(sb, SimTime::from_secs(500), "successor gated to start+min_delay");
+        assert_eq!(
+            sb,
+            SimTime::from_secs(500),
+            "successor gated to start+min_delay"
+        );
         assert!(report.all_satisfied(), "{:?}", report.outcomes);
         assert!(!report.outcomes[0].b_before_a);
     }
@@ -635,7 +716,14 @@ mod tests {
         .run();
         assert!(!report.deadlocked);
         assert_eq!(report.violations(), 1);
-        assert_eq!(report.records[1].iter().find(|r| r.id == JobId(1)).unwrap().start, SimTime::from_secs(2_000));
+        assert_eq!(
+            report.records[1]
+                .iter()
+                .find(|r| r.id == JobId(1))
+                .unwrap()
+                .start,
+            SimTime::from_secs(2_000)
+        );
     }
 
     #[test]
@@ -675,14 +763,21 @@ mod tests {
             machines(),
             cosched(),
             traces,
-            vec![ConstraintInstance { a: JobId(99), b: JobId(1), constraint: TemporalConstraint::CoStart }],
+            vec![ConstraintInstance {
+                a: JobId(99),
+                b: JobId(1),
+                constraint: TemporalConstraint::CoStart,
+            }],
         );
     }
 
     #[test]
     fn unconstrained_jobs_flow_through() {
         let traces = [
-            Trace::from_jobs(MachineId(0), vec![job(0, 1, 0, 10, 100), job(0, 2, 5, 10, 100)]),
+            Trace::from_jobs(
+                MachineId(0),
+                vec![job(0, 1, 0, 10, 100), job(0, 2, 5, 10, 100)],
+            ),
             Trace::from_jobs(MachineId(1), vec![job(1, 1, 0, 10, 100)]),
         ];
         let report = TemporalSimulation::new(machines(), cosched(), traces, vec![]).run();

@@ -80,7 +80,11 @@ impl CohortBreakdown {
     /// Panics if `capacity` is zero.
     pub fn of(records: &[JobRecord], capacity: u64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        let classes = [("narrow", 0.0, 0.01), ("medium", 0.01, 0.25), ("wide", 0.25, f64::INFINITY)];
+        let classes = [
+            ("narrow", 0.0, 0.01),
+            ("medium", 0.01, 0.25),
+            ("wide", 0.25, f64::INFINITY),
+        ];
         CohortBreakdown {
             paired: CohortStats::of(records.iter().filter(|r| r.paired)),
             regular: CohortStats::of(records.iter().filter(|r| !r.paired)),
@@ -136,7 +140,7 @@ mod tests {
     #[test]
     fn splits_paired_and_regular() {
         let records = vec![
-            rec(1, 10, 0, 600, true),   // wait 10 min
+            rec(1, 10, 0, 600, true),    // wait 10 min
             rec(2, 10, 0, 1_800, false), // wait 30 min
             rec(3, 10, 0, 3_000, false), // wait 50 min
         ];
@@ -151,10 +155,10 @@ mod tests {
     #[test]
     fn size_classes_partition_records() {
         let records = vec![
-            rec(1, 1, 0, 0, false),    // 0.1 % → narrow (on capacity 1000)
-            rec(2, 50, 0, 0, false),   // 5 % → medium
-            rec(3, 400, 0, 0, false),  // 40 % → wide
-            rec(4, 999, 0, 0, false),  // wide
+            rec(1, 1, 0, 0, false),   // 0.1 % → narrow (on capacity 1000)
+            rec(2, 50, 0, 0, false),  // 5 % → medium
+            rec(3, 400, 0, 0, false), // 40 % → wide
+            rec(4, 999, 0, 0, false), // wide
         ];
         let b = CohortBreakdown::of(&records, 1_000);
         let counts: Vec<usize> = b.size_classes.iter().map(|c| c.stats.count).collect();

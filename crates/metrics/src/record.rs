@@ -88,7 +88,13 @@ impl JobRecord {
 mod tests {
     use super::*;
 
-    fn record(submit: u64, ready: Option<u64>, start: u64, runtime: u64, paired: bool) -> JobRecord {
+    fn record(
+        submit: u64,
+        ready: Option<u64>,
+        start: u64,
+        runtime: u64,
+        paired: bool,
+    ) -> JobRecord {
         JobRecord {
             id: JobId(1),
             machine: MachineId(0),

@@ -134,7 +134,15 @@ mod tests {
     use super::*;
     use cosched_workload::{JobId, MachineId};
 
-    fn rec(id: u64, submit: u64, ready: u64, start: u64, runtime: u64, size: u64, paired: bool) -> JobRecord {
+    fn rec(
+        id: u64,
+        submit: u64,
+        ready: u64,
+        start: u64,
+        runtime: u64,
+        size: u64,
+        paired: bool,
+    ) -> JobRecord {
         JobRecord {
             id: JobId(id),
             machine: MachineId(0),
@@ -154,9 +162,9 @@ mod tests {
     #[test]
     fn aggregates_basic_metrics() {
         let records = vec![
-            rec(1, 0, 0, 600, 600, 10, false),    // wait 10 min, slowdown 2
-            rec(2, 0, 0, 1800, 600, 10, false),   // wait 30 min, slowdown 4
-            rec(3, 0, 600, 1200, 600, 10, true),  // wait 20 min, sync 10 min
+            rec(1, 0, 0, 600, 600, 10, false),   // wait 10 min, slowdown 2
+            rec(2, 0, 0, 1800, 600, 10, false),  // wait 30 min, slowdown 4
+            rec(3, 0, 600, 1200, 600, 10, true), // wait 20 min, sync 10 min
         ];
         let horizon = SimTime::from_secs(3_600);
         let s = MachineSummary::from_records("Test", &records, 100, horizon, 7_200);
@@ -198,8 +206,20 @@ mod tests {
     #[test]
     fn average_over_seeds() {
         let horizon = SimTime::from_secs(1_000);
-        let a = MachineSummary::from_records("M", &[rec(1, 0, 0, 600, 600, 10, false)], 100, horizon, 0);
-        let b = MachineSummary::from_records("M", &[rec(1, 0, 0, 1_800, 600, 10, false)], 100, horizon, 3_600);
+        let a = MachineSummary::from_records(
+            "M",
+            &[rec(1, 0, 0, 600, 600, 10, false)],
+            100,
+            horizon,
+            0,
+        );
+        let b = MachineSummary::from_records(
+            "M",
+            &[rec(1, 0, 0, 1_800, 600, 10, false)],
+            100,
+            horizon,
+            3_600,
+        );
         let avg = MachineSummary::average(&[a, b]);
         assert!((avg.avg_wait_mins - 20.0).abs() < 1e-9);
         assert!((avg.lost_node_hours - 0.5).abs() < 1e-9);

@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(2.54321, 2), "2.54");
         assert_eq!(pct(0.046), "4.6%");
     }
 }

@@ -1,0 +1,37 @@
+//! Deterministic observability layer for the coupled-coscheduling stack.
+//!
+//! Three orthogonal pieces, kept deliberately separate so that tracing can
+//! never perturb simulation results:
+//!
+//! * **Event tracing** ([`trace`], [`observe`]) — structured,
+//!   sim-time-stamped [`trace::TraceEvent`]s flow from the engine,
+//!   scheduler, coscheduling driver, and protocol layer into an
+//!   [`observe::Observer`]. The default [`observe::NoopObserver`] is a
+//!   zero-sized type whose `active()` is a compile-time constant `false`,
+//!   so event construction is skipped entirely (static dispatch, no
+//!   branches survive inlining). Sinks include JSONL writers and an
+//!   in-memory ring buffer.
+//! * **Metrics** ([`metrics`]) — a tiny registry of named counters and
+//!   log₂-bucketed histograms with snapshot types that serialize into
+//!   reports. Deterministic inputs only (sim time, counts): identical
+//!   seeds produce identical snapshots.
+//! * **Phase profiling** ([`profile`]) — wall-clock timings around
+//!   scheduler iterations, release sweeps, and RPCs. Wall-clock data is
+//!   *never* mixed into traces or report metrics; it lives in its own
+//!   snapshot so determinism guarantees hold.
+//!
+//! The crate has no dependency on the rest of the workspace (events carry
+//! plain `u64` sim-seconds), so every layer can depend on it without
+//! cycles.
+
+pub mod metrics;
+pub mod observe;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use observe::{
+    JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver, TeeObserver, VecSink,
+};
+pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
+pub use trace::{TraceEvent, TraceRecord};

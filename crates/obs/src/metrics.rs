@@ -1,0 +1,302 @@
+//! Lightweight metrics registry: named counters plus log₂-bucketed
+//! histograms, no external deps. Snapshots serialize into reports.
+//!
+//! Determinism contract: a registry fed only deterministic inputs (sim
+//! time, counts) snapshots identically across same-seed runs. Wall-clock
+//! values belong in [`crate::profile`], not here, when they would end up
+//! inside a `SimulationReport`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value fits in `i` bits, i.e. value 0 is
+/// bucket 0 and value `v > 0` lands in bucket `64 - v.leading_zeros()`;
+/// bucket upper bounds are `0, 1, 3, 7, …, 2^k - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from bucket boundaries (upper bound of the
+    /// bucket containing the q-th sample).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| BucketCount {
+                le: bucket_upper_bound(i),
+                count: n,
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Registry of named counters and histograms.
+///
+/// Keys are static strings (metric names are decided at compile time);
+/// storage is ordered so snapshots list metrics alphabetically.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set a gauge-style counter to an absolute value.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&name, histogram)| histogram.snapshot(name))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable view of a registry at a point in time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty buckets: `count` samples with value `<= le`.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub le: u64,
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let snap = h.snapshot("t");
+        // 0 → le 0; 1 → le 1; 2,3 → le 3; 4 → le 7; 1000 → le 1023.
+        let les: Vec<u64> = snap.buckets.iter().map(|b| b.le).collect();
+        assert_eq!(les, vec![0, 1, 3, 7, 1023]);
+        assert_eq!(snap.buckets[2].count, 2);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!((250..=1023).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrips() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("holds");
+        reg.add("holds", 2);
+        reg.set("queue-high-water", 17);
+        reg.observe("hold-duration", 100);
+        reg.observe("hold-duration", 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("holds"), 3);
+        assert_eq!(snap.counter("queue-high-water"), 17);
+        assert_eq!(snap.counter("missing"), 0);
+        let h = snap.histogram("hold-duration").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 103);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn identical_inputs_snapshot_identically() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            for i in 0..100 {
+                reg.inc("a");
+                reg.observe("h", i * 7);
+            }
+            reg.snapshot()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,161 @@
+//! Wall-clock phase profiling.
+//!
+//! Measures where real time goes (scheduler iterations, release sweeps,
+//! RPC round-trips) so Criterion regressions can be attributed to a phase.
+//! Wall-clock data is inherently nondeterministic, so it is kept strictly
+//! out of traces and report metrics: a [`PhaseProfiler`] lives beside the
+//! simulation and is reported separately.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The profiled phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// One scheduler iteration (pick/start loop) on one machine.
+    SchedulerIteration,
+    /// One periodic release sweep.
+    ReleaseSweep,
+    /// One cross-domain RPC round-trip.
+    RpcCall,
+    /// One event dispatched from the queue.
+    EventDispatch,
+}
+
+impl Phase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::SchedulerIteration => "scheduler-iteration",
+            Phase::ReleaseSweep => "release-sweep",
+            Phase::RpcCall => "rpc-call",
+            Phase::EventDispatch => "event-dispatch",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PhaseStats {
+    calls: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Accumulates wall-clock samples per phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    phases: BTreeMap<Phase, PhaseStats>,
+}
+
+impl PhaseProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure and attribute it to `phase`.
+    #[inline]
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(phase, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// Record an externally measured sample (nanoseconds).
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        let stats = self.phases.entry(phase).or_insert(PhaseStats {
+            calls: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        stats.calls += 1;
+        stats.total_ns = stats.total_ns.saturating_add(nanos);
+        stats.min_ns = stats.min_ns.min(nanos);
+        stats.max_ns = stats.max_ns.max(nanos);
+    }
+
+    /// Merge another profiler's samples into this one.
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        for (&phase, stats) in &other.phases {
+            let mine = self.phases.entry(phase).or_insert(PhaseStats {
+                calls: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            mine.calls += stats.calls;
+            mine.total_ns = mine.total_ns.saturating_add(stats.total_ns);
+            mine.min_ns = mine.min_ns.min(stats.min_ns);
+            mine.max_ns = mine.max_ns.max(stats.max_ns);
+        }
+    }
+
+    /// Serializable summary, one entry per phase seen.
+    pub fn snapshot(&self) -> Vec<PhaseSnapshot> {
+        self.phases
+            .iter()
+            .map(|(&phase, stats)| PhaseSnapshot {
+                phase: phase.as_str().to_string(),
+                calls: stats.calls,
+                total_ns: stats.total_ns,
+                mean_ns: stats.total_ns.checked_div(stats.calls).unwrap_or(0),
+                min_ns: if stats.calls == 0 { 0 } else { stats.min_ns },
+                max_ns: stats.max_ns,
+            })
+            .collect()
+    }
+}
+
+/// Wall-clock summary for one phase. Nondeterministic by nature — never
+/// embed this in a `SimulationReport`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    pub phase: String,
+    pub calls: u64,
+    pub total_ns: u64,
+    pub mean_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let mut p = PhaseProfiler::new();
+        let out = p.time(Phase::SchedulerIteration, || 41 + 1);
+        assert_eq!(out, 42);
+        p.record(Phase::SchedulerIteration, 100);
+        p.record(Phase::ReleaseSweep, 7);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        let sweep = snap.iter().find(|s| s.phase == "release-sweep").unwrap();
+        assert_eq!(sweep.calls, 1);
+        assert_eq!(sweep.total_ns, 7);
+        let iter = snap
+            .iter()
+            .find(|s| s.phase == "scheduler-iteration")
+            .unwrap();
+        assert_eq!(iter.calls, 2);
+        assert!(iter.max_ns >= 100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseProfiler::new();
+        a.record(Phase::RpcCall, 10);
+        let mut b = PhaseProfiler::new();
+        b.record(Phase::RpcCall, 30);
+        b.record(Phase::EventDispatch, 5);
+        a.merge(&b);
+        let snap = a.snapshot();
+        let rpc = snap.iter().find(|s| s.phase == "rpc-call").unwrap();
+        assert_eq!(rpc.calls, 2);
+        assert_eq!(rpc.total_ns, 40);
+        assert_eq!(rpc.mean_ns, 20);
+    }
+}

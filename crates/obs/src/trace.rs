@@ -1,0 +1,197 @@
+//! The event taxonomy: everything the stack can report, sim-time-stamped.
+//!
+//! Payloads are restricted to *deterministic* data — sim time, ids, sizes,
+//! counts. Wall-clock durations are deliberately excluded (they belong to
+//! [`crate::profile`]), which is what makes JSONL traces byte-identical
+//! across same-seed runs.
+
+use serde::{Deserialize, Serialize};
+
+/// One trace entry: a sim-time stamp plus the event itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulation time in seconds.
+    pub time: u64,
+    /// Machine index the event belongs to, if any (`usize::MAX` = global).
+    pub machine: usize,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Machine index used for events not tied to a domain.
+pub const GLOBAL: usize = usize::MAX;
+
+/// Structured events emitted across the stack.
+///
+/// Grouped by layer: `Engine*` (cosched-sim), `Sched*` (cosched-sched),
+/// `Cosched*` (cosched-core, Algorithm 1), `Rpc*`/`Frame*` (cosched-proto).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    // ----- discrete-event engine ------------------------------------------
+    /// The engine dispatched the event with this sequence number.
+    EngineDispatch { seq: u64 },
+    /// An event was cancelled before dispatch.
+    EngineCancel { seq: u64 },
+
+    // ----- single-domain scheduler ----------------------------------------
+    /// A scheduler iteration began (`queued`/`running` = queue depths).
+    SchedIterationStart {
+        queued: usize,
+        running: usize,
+        free_nodes: u64,
+    },
+    /// A scheduler iteration finished after starting `started` jobs.
+    SchedIterationEnd { started: usize },
+    /// The policy picked a candidate job.
+    SchedPick {
+        job: u64,
+        size: u64,
+        via_backfill: bool,
+    },
+    /// A job started through the backfill window rather than at queue head.
+    SchedBackfillHit { job: u64, size: u64 },
+    /// The scheduler engaged draining: the queue head cannot start, so the
+    /// machine stops starting lower-priority work.
+    SchedDrainEngaged {
+        blocked_job: u64,
+        needed: u64,
+        free_nodes: u64,
+    },
+    /// The allocator could not place a job, with the reason.
+    SchedAllocFail {
+        job: u64,
+        size: u64,
+        reason: AllocFailReason,
+    },
+
+    // ----- Algorithm 1 (Run_Job) transitions ------------------------------
+    /// A hold was placed: resources reserved while the mate is not ready.
+    CoschedHoldPlaced { job: u64, nodes: u64 },
+    /// A yield: the job gave up its turn waiting for its mate.
+    CoschedYield { job: u64, yields_so_far: u32 },
+    /// A held job's mate became ready and both sides committed to start.
+    CoschedRendezvousCommit { job: u64, mate: u64, anchored: bool },
+    /// The periodic release sweep fired, releasing `released` held jobs.
+    CoschedReleaseSweep { released: usize, held_before: usize },
+    /// Held-capacity cap exceeded: hold scheme degraded to yield.
+    CoschedHeldCapDegradation {
+        job: u64,
+        held_nodes: u64,
+        capacity: u64,
+    },
+    /// Yield cap exceeded: yield scheme escalated to hold.
+    CoschedYieldCapEscalation { job: u64, yields: u32 },
+    /// The deadlock breaker demoted a held job after a sweep.
+    CoschedDeadlockDemotion { job: u64 },
+    /// A job started (with or without its mate).
+    CoschedStart { job: u64, with_mate: bool },
+
+    // ----- cross-domain protocol ------------------------------------------
+    /// An RPC completed (`kind` names the request variant).
+    RpcCall { kind: RpcKind, ok: bool },
+    /// An RPC timed out and the caller fell back to `MateStatus::Unknown`.
+    RpcTimeout { kind: RpcKind },
+    /// A frame was encoded onto the wire (`bytes` includes the header).
+    FrameEncoded { bytes: u64 },
+    /// A frame was decoded off the wire (`bytes` includes the header).
+    FrameDecoded { bytes: u64 },
+}
+
+/// Why an allocation attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocFailReason {
+    /// Not enough free nodes in total.
+    Capacity,
+    /// Enough free nodes, but not in a placeable shape (buddy fragmentation).
+    Fragmentation,
+}
+
+/// Request kinds, mirroring `cosched_proto::message::Request` variants
+/// without depending on the proto crate (obs sits below everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RpcKind {
+    GetMateJob,
+    GetMateStatus,
+    TryStartMate,
+    StartJob,
+    CanStart,
+    Ping,
+}
+
+impl RpcKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RpcKind::GetMateJob => "get_mate_job",
+            RpcKind::GetMateStatus => "get_mate_status",
+            RpcKind::TryStartMate => "try_start_mate",
+            RpcKind::StartJob => "start_job",
+            RpcKind::CanStart => "can_start",
+            RpcKind::Ping => "ping",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Stable kebab-case name of the event kind (metric keys, filtering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::EngineDispatch { .. } => "engine-dispatch",
+            TraceEvent::EngineCancel { .. } => "engine-cancel",
+            TraceEvent::SchedIterationStart { .. } => "sched-iteration-start",
+            TraceEvent::SchedIterationEnd { .. } => "sched-iteration-end",
+            TraceEvent::SchedPick { .. } => "sched-pick",
+            TraceEvent::SchedBackfillHit { .. } => "sched-backfill-hit",
+            TraceEvent::SchedDrainEngaged { .. } => "sched-drain-engaged",
+            TraceEvent::SchedAllocFail { .. } => "sched-alloc-fail",
+            TraceEvent::CoschedHoldPlaced { .. } => "cosched-hold-placed",
+            TraceEvent::CoschedYield { .. } => "cosched-yield",
+            TraceEvent::CoschedRendezvousCommit { .. } => "cosched-rendezvous-commit",
+            TraceEvent::CoschedReleaseSweep { .. } => "cosched-release-sweep",
+            TraceEvent::CoschedHeldCapDegradation { .. } => "cosched-held-cap-degradation",
+            TraceEvent::CoschedYieldCapEscalation { .. } => "cosched-yield-cap-escalation",
+            TraceEvent::CoschedDeadlockDemotion { .. } => "cosched-deadlock-demotion",
+            TraceEvent::CoschedStart { .. } => "cosched-start",
+            TraceEvent::RpcCall { .. } => "rpc-call",
+            TraceEvent::RpcTimeout { .. } => "rpc-timeout",
+            TraceEvent::FrameEncoded { .. } => "frame-encoded",
+            TraceEvent::FrameDecoded { .. } => "frame-decoded",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let record = TraceRecord {
+            time: 3600,
+            machine: 1,
+            event: TraceEvent::SchedAllocFail {
+                job: 42,
+                size: 1024,
+                reason: AllocFailReason::Fragmentation,
+            },
+        };
+        let text = serde_json::to_string(&record).unwrap();
+        let back: TraceRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            TraceEvent::EngineDispatch { seq: 0 }.kind(),
+            "engine-dispatch"
+        );
+        assert_eq!(
+            TraceEvent::RpcTimeout {
+                kind: RpcKind::GetMateStatus
+            }
+            .kind(),
+            "rpc-timeout"
+        );
+        assert_eq!(RpcKind::TryStartMate.as_str(), "try_start_mate");
+    }
+}

@@ -92,7 +92,9 @@ mod tests {
         });
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
         let resp = client
-            .call(&Request::GetMateStatus { job: cosched_workload::JobId(1) })
+            .call(&Request::GetMateStatus {
+                job: cosched_workload::JobId(1),
+            })
             .unwrap();
         assert_eq!(resp.status(), MateStatus::Holding);
         drop(client);

@@ -1,0 +1,157 @@
+//! Transport instrumentation: per-RPC wall-clock latency and outcome
+//! counters around any [`Transport`].
+//!
+//! Wall-clock data never enters simulation reports (it would break
+//! same-seed determinism); this wrapper is for *live* transports — TCP,
+//! in-process channels — where latency is a real operational signal.
+
+use crate::message::{Request, Response};
+use crate::transport::{ProtoError, Transport};
+use cosched_obs::metrics::HistogramSnapshot;
+use cosched_obs::trace::RpcKind;
+use cosched_obs::Histogram;
+use std::time::Instant;
+
+/// All `RpcKind` variants, in the order used for per-kind counters.
+const KINDS: [RpcKind; 6] = [
+    RpcKind::GetMateJob,
+    RpcKind::GetMateStatus,
+    RpcKind::TryStartMate,
+    RpcKind::StartJob,
+    RpcKind::CanStart,
+    RpcKind::Ping,
+];
+
+fn kind_index(kind: RpcKind) -> usize {
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("all kinds listed")
+}
+
+/// Point-in-time view of a transport's activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportMetrics {
+    /// Requests issued.
+    pub calls: u64,
+    /// Requests that failed with [`ProtoError::Timeout`].
+    pub timeouts: u64,
+    /// Requests that failed for any other reason.
+    pub failures: u64,
+    /// Per-kind call counts as `(kind name, count)`, non-zero entries only.
+    pub calls_by_kind: Vec<(&'static str, u64)>,
+    /// Wall-clock latency distribution in nanoseconds.
+    pub latency_ns: HistogramSnapshot,
+}
+
+/// A [`Transport`] wrapper recording latency and outcome for every call.
+pub struct InstrumentedTransport<T: Transport> {
+    inner: T,
+    latency_ns: Histogram,
+    calls: u64,
+    timeouts: u64,
+    failures: u64,
+    by_kind: [u64; KINDS.len()],
+}
+
+impl<T: Transport> InstrumentedTransport<T> {
+    pub fn new(inner: T) -> Self {
+        InstrumentedTransport {
+            inner,
+            latency_ns: Histogram::new(),
+            calls: 0,
+            timeouts: 0,
+            failures: 0,
+            by_kind: [0; KINDS.len()],
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the collected metrics.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Snapshot the activity recorded so far.
+    pub fn metrics(&self) -> TransportMetrics {
+        TransportMetrics {
+            calls: self.calls,
+            timeouts: self.timeouts,
+            failures: self.failures,
+            calls_by_kind: KINDS
+                .iter()
+                .zip(self.by_kind)
+                .filter(|&(_, n)| n > 0)
+                .map(|(&k, n)| (k.as_str(), n))
+                .collect(),
+            latency_ns: self.latency_ns.snapshot("rpc.latency_ns"),
+        }
+    }
+}
+
+impl<T: Transport> Transport for InstrumentedTransport<T> {
+    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        let t0 = Instant::now();
+        let result = self.inner.call(req);
+        let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency_ns.record(nanos);
+        self.calls += 1;
+        self.by_kind[kind_index(req.trace_kind())] += 1;
+        match &result {
+            Err(ProtoError::Timeout) => self.timeouts += 1,
+            Err(_) => self.failures += 1,
+            Ok(_) => {}
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MateStatus;
+    use crate::transport::Loopback;
+
+    #[test]
+    fn counts_calls_timeouts_and_latency() {
+        struct Flaky(u32);
+        impl Transport for Flaky {
+            fn call(&mut self, _req: &Request) -> Result<Response, ProtoError> {
+                self.0 += 1;
+                if self.0.is_multiple_of(2) {
+                    Err(ProtoError::Timeout)
+                } else {
+                    Ok(Response::Pong)
+                }
+            }
+        }
+        let mut t = InstrumentedTransport::new(Flaky(0));
+        for _ in 0..4 {
+            let _ = t.call(&Request::Ping);
+        }
+        let _ = t.call(&Request::GetMateJob {
+            for_job: cosched_workload::JobId(1),
+        });
+        let m = t.metrics();
+        assert_eq!(m.calls, 5);
+        assert_eq!(m.timeouts, 2);
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.latency_ns.count, 5);
+        assert!(m.calls_by_kind.contains(&("ping", 4)));
+        assert!(m.calls_by_kind.contains(&("get_mate_job", 1)));
+    }
+
+    #[test]
+    fn transparent_to_the_caller() {
+        let mut t = InstrumentedTransport::new(Loopback(|_req: Request| {
+            Response::MateStatus(MateStatus::Queuing)
+        }));
+        let resp = t.call(&Request::Ping).unwrap();
+        assert_eq!(resp.status(), MateStatus::Queuing);
+        assert_eq!(t.metrics().calls, 1);
+    }
+}

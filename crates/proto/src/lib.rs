@@ -23,9 +23,11 @@
 
 pub mod frame;
 pub mod inproc;
+pub mod instrument;
 pub mod message;
 pub mod tcp;
 pub mod transport;
 
+pub use instrument::{InstrumentedTransport, TransportMetrics};
 pub use message::{MateStatus, Request, Response};
 pub use transport::{DomainService, ProtoError, Transport};

@@ -1,6 +1,7 @@
 //! Protocol vocabulary: the four coordination RPCs of the paper plus a
 //! liveness probe.
 
+use cosched_obs::trace::RpcKind;
 use cosched_workload::{JobId, MateRef};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +62,21 @@ pub enum Request {
         /// The remote member's id.
         job: JobId,
     },
+}
+
+impl Request {
+    /// The observability tag for this request variant (trace events and
+    /// per-kind metrics).
+    pub fn trace_kind(&self) -> RpcKind {
+        match self {
+            Request::GetMateJob { .. } => RpcKind::GetMateJob,
+            Request::GetMateStatus { .. } => RpcKind::GetMateStatus,
+            Request::TryStartMate { .. } => RpcKind::TryStartMate,
+            Request::StartJob { .. } => RpcKind::StartJob,
+            Request::Ping => RpcKind::Ping,
+            Request::CanStart { .. } => RpcKind::CanStart,
+        }
+    }
 }
 
 /// Response to a [`Request`].
@@ -154,7 +170,10 @@ mod tests {
 
     #[test]
     fn status_helper_defaults_to_unknown() {
-        assert_eq!(Response::MateStatus(MateStatus::Holding).status(), MateStatus::Holding);
+        assert_eq!(
+            Response::MateStatus(MateStatus::Holding).status(),
+            MateStatus::Holding
+        );
         assert_eq!(Response::Pong.status(), MateStatus::Unknown);
         assert_eq!(Response::Error("x".into()).status(), MateStatus::Unknown);
     }

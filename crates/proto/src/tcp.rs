@@ -132,7 +132,9 @@ pub fn serve<S: DomainService + Send + 'static>(
             let Ok(stream) = conn else { continue };
             let svc = Arc::clone(&service);
             let stop_conn = Arc::clone(&stop_accept);
-            conns.push(std::thread::spawn(move || handle_connection(stream, svc, stop_conn)));
+            conns.push(std::thread::spawn(move || {
+                handle_connection(stream, svc, stop_conn)
+            }));
         }
         // Joining connection threads makes shutdown() a barrier: once it
         // returns, no request will be answered anymore.
@@ -205,9 +207,14 @@ mod tests {
         let server = serve("127.0.0.1:0".parse().unwrap(), echo_service()).unwrap();
         let mut client = TcpTransport::connect(server.addr(), Duration::from_secs(2)).unwrap();
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
-        let resp = client.call(&Request::GetMateStatus { job: JobId(1) }).unwrap();
+        let resp = client
+            .call(&Request::GetMateStatus { job: JobId(1) })
+            .unwrap();
         assert_eq!(resp.status(), MateStatus::Holding);
-        assert!(client.call(&Request::TryStartMate { job: JobId(2) }).unwrap().started());
+        assert!(client
+            .call(&Request::TryStartMate { job: JobId(2) })
+            .unwrap()
+            .started());
         server.shutdown();
     }
 

@@ -77,7 +77,9 @@ mod tests {
         };
         assert_eq!(svc.handle(Request::Ping), Response::Pong);
         assert!(matches!(
-            svc.handle(Request::GetMateStatus { job: cosched_workload::JobId(1) }),
+            svc.handle(Request::GetMateStatus {
+                job: cosched_workload::JobId(1)
+            }),
             Response::Error(_)
         ));
     }
@@ -92,7 +94,9 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(ProtoError::Timeout.to_string().contains("timed out"));
-        assert!(ProtoError::Disconnected("x".into()).to_string().contains("x"));
+        assert!(ProtoError::Disconnected("x".into())
+            .to_string()
+            .contains("x"));
         assert!(ProtoError::Protocol("y".into()).to_string().contains("y"));
     }
 }

@@ -242,7 +242,7 @@ mod tests {
     fn earliest_fit_respects_duration_spanning_bump() {
         let mut p = CapacityProfile::new(100);
         p.reserve(t(50), d(10), 90); // bump in the middle
-        // 20 nodes for 100 s starting now would overlap the bump.
+                                     // 20 nodes for 100 s starting now would overlap the bump.
         assert_eq!(p.earliest_fit(t(0), d(100), 20), Some(t(60)));
         // Short enough to finish before the bump: immediate.
         assert_eq!(p.earliest_fit(t(0), d(50), 20), Some(t(0)));
@@ -254,7 +254,7 @@ mod tests {
         let mut b = CapacityProfile::new(10);
         a.reserve(t(0), d(100), 100); // A busy till 100
         b.reserve(t(0), d(200), 8); // B nearly busy till 200
-        // Pair needs 50 on A and 4 on B: A frees at 100, B at 200.
+                                    // Pair needs 50 on A and 4 on B: A frees at 100, B at 200.
         assert_eq!(
             a.earliest_co_fit(&b, t(0), d(60), 50, d(60), 4),
             Some(t(200))

@@ -94,11 +94,11 @@ impl ReservationSimulation {
         let mut horizon = SimTime::ZERO;
 
         let book = |profiles: &mut [CapacityProfile; 2],
-                        m: usize,
-                        job: &Job,
-                        start: SimTime,
-                        records: &mut [Vec<JobRecord>; 2],
-                        horizon: &mut SimTime| {
+                    m: usize,
+                    job: &Job,
+                    start: SimTime,
+                    records: &mut [Vec<JobRecord>; 2],
+                    horizon: &mut SimTime| {
             profiles[m].reserve(start, job.walltime, job.size);
             let end = start + job.runtime;
             *horizon = (*horizon).max(start + job.walltime);
@@ -126,7 +126,14 @@ impl ReservationSimulation {
                     let start = self.profiles[m]
                         .earliest_fit(job.submit, job.walltime, job.size)
                         .expect("validated against capacity");
-                    book(&mut self.profiles, m, &job, start, &mut records, &mut horizon);
+                    book(
+                        &mut self.profiles,
+                        m,
+                        &job,
+                        start,
+                        &mut records,
+                        &mut horizon,
+                    );
                 }
                 Some(mate) => {
                     let key = (m, job.id);
@@ -145,8 +152,22 @@ impl ReservationSimulation {
                                 job.size,
                             )
                             .expect("validated against capacity");
-                        book(&mut self.profiles, m_first, &first, start, &mut records, &mut horizon);
-                        book(&mut self.profiles, m, &job, start, &mut records, &mut horizon);
+                        book(
+                            &mut self.profiles,
+                            m_first,
+                            &first,
+                            start,
+                            &mut records,
+                            &mut horizon,
+                        );
+                        book(
+                            &mut self.profiles,
+                            m,
+                            &job,
+                            start,
+                            &mut records,
+                            &mut horizon,
+                        );
                         pair_offsets.push(SimDuration::ZERO);
                     } else {
                         pending_pair.insert(key, (m, job));
@@ -161,7 +182,14 @@ impl ReservationSimulation {
             let start = self.profiles[m]
                 .earliest_fit(job.submit, job.walltime, job.size)
                 .expect("validated against capacity");
-            book(&mut self.profiles, m, &job, start, &mut records, &mut horizon);
+            book(
+                &mut self.profiles,
+                m,
+                &job,
+                start,
+                &mut records,
+                &mut horizon,
+            );
         }
 
         // Loss = committed-but-idle slot tails.
@@ -235,14 +263,28 @@ mod tests {
     fn pair_books_common_slot_and_synchronizes() {
         let mut a = job(0, 1, 0, 50, 100, 100);
         let mut b = job(1, 1, 60, 5, 100, 100);
-        a.mate = Some(MateRef { machine: MachineId(1), job: JobId(1) });
-        b.mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
+        a.mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(1),
+        });
+        b.mate = Some(MateRef {
+            machine: MachineId(0),
+            job: JobId(1),
+        });
         // B is fully busy until t=500.
         let filler = job(1, 9, 0, 10, 500, 500);
         let report = sim(vec![a], vec![filler, b]).run();
         assert!(report.all_pairs_synchronized());
-        let sa = report.records[0].iter().find(|r| r.id == JobId(1)).unwrap().start;
-        let sb = report.records[1].iter().find(|r| r.id == JobId(1)).unwrap().start;
+        let sa = report.records[0]
+            .iter()
+            .find(|r| r.id == JobId(1))
+            .unwrap()
+            .start;
+        let sb = report.records[1]
+            .iter()
+            .find(|r| r.id == JobId(1))
+            .unwrap()
+            .start;
         assert_eq!(sa, sb);
         assert_eq!(sa, SimTime::from_secs(500), "pair waits for B's capacity");
     }
@@ -262,12 +304,22 @@ mod tests {
         // slot on A (50 nodes at t=500): 80 + 50 > 100 → pushed past it.
         let mut a = job(0, 1, 0, 50, 100, 100);
         let mut b = job(1, 1, 5, 5, 100, 100);
-        a.mate = Some(MateRef { machine: MachineId(1), job: JobId(1) });
-        b.mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
+        a.mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(1),
+        });
+        b.mate = Some(MateRef {
+            machine: MachineId(0),
+            job: JobId(1),
+        });
         let filler_b = job(1, 9, 0, 10, 500, 500);
         let regular = job(0, 2, 10, 80, 600, 600);
         let report = sim(vec![a, regular], vec![filler_b, b]).run();
-        let start2 = report.records[0].iter().find(|r| r.id == JobId(2)).unwrap().start;
+        let start2 = report.records[0]
+            .iter()
+            .find(|r| r.id == JobId(2))
+            .unwrap()
+            .start;
         assert_eq!(
             start2,
             SimTime::from_secs(600),
@@ -278,7 +330,10 @@ mod tests {
     #[test]
     fn lone_pair_half_books_eventually() {
         let mut a = job(0, 1, 0, 50, 100, 100);
-        a.mate = Some(MateRef { machine: MachineId(1), job: JobId(42) });
+        a.mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(42),
+        });
         // Mate 42 never appears in B's trace; MateRegistry-level validation
         // is bypassed here on purpose — the desk books the lone half as a
         // regular job at the end.

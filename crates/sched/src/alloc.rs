@@ -161,7 +161,10 @@ impl BuddyAllocator {
     /// # Panics
     /// Panics if `unit` is zero or exceeds `capacity`.
     pub fn new(capacity: u64, unit: u64) -> Self {
-        assert!(unit > 0 && unit <= capacity, "bad unit {unit} for capacity {capacity}");
+        assert!(
+            unit > 0 && unit <= capacity,
+            "bad unit {unit} for capacity {capacity}"
+        );
         let total_units = capacity.div_ceil(unit);
         let padded = total_units.next_power_of_two();
         let max_order = padded.trailing_zeros();
@@ -309,7 +312,9 @@ impl NodeAllocator for BuddyAllocator {
         }
         let units = self.units_for_size(size);
         match self.order_for_units(units) {
-            Some(order) => (order..=self.max_order).any(|k| !self.free_blocks[k as usize].is_empty()),
+            Some(order) => {
+                (order..=self.max_order).any(|k| !self.free_blocks[k as usize].is_empty())
+            }
             None => false,
         }
     }

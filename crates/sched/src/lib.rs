@@ -29,6 +29,6 @@ pub mod policy;
 pub mod predict;
 
 pub use alloc::{AllocHandle, AllocatorKind, NodeAllocator};
-pub use machine::{Candidate, JobStatus, Machine, MachineConfig};
+pub use machine::{Candidate, JobStatus, Machine, MachineConfig, SchedStats};
 pub use policy::PolicyKind;
 pub use predict::{PredictorKind, WalltimePredictor};

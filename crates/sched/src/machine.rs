@@ -30,6 +30,7 @@ use crate::backfill::{compute_shadow, ProjectedRelease, Shadow};
 use crate::policy::{order_queue, PolicyKind};
 use crate::predict::{PredictorKind, WalltimePredictor};
 use cosched_metrics::JobRecord;
+use cosched_obs::trace::{AllocFailReason, TraceEvent};
 use cosched_sim::{SimDuration, SimTime};
 use cosched_workload::{Job, JobId, MachineId};
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,27 @@ pub struct Candidate {
     pub size: u64,
     /// Nodes actually charged by the allocator (≥ size under partitioning).
     pub charged: u64,
+    /// Whether the pick came through the backfill window (a head-job
+    /// reservation was active when this job was admitted).
+    pub via_backfill: bool,
+}
+
+/// Plain counters describing scheduler activity, always collected (no
+/// observer needed) and folded into the run's metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduling iterations begun.
+    pub iterations: u64,
+    /// Candidates handed out by [`Machine::pick_next`].
+    pub picks: u64,
+    /// Picks admitted through the backfill window.
+    pub backfill_hits: u64,
+    /// Iterations that engaged draining (head blocked by fragmentation).
+    pub drains_engaged: u64,
+    /// Allocation attempts rejected for lack of free nodes.
+    pub alloc_fail_capacity: u64,
+    /// Allocation attempts rejected by partition fragmentation.
+    pub alloc_fail_fragmentation: u64,
 }
 
 #[derive(Debug)]
@@ -170,6 +192,13 @@ pub struct Machine {
     iter_cursor: usize,
     /// Head-job reservation discovered during this iteration's walk.
     iter_shadow: Option<Shadow>,
+    /// Lifetime activity counters (cheap, unconditional).
+    stats: SchedStats,
+    /// When true, decision-level trace events are appended to `trace_log`
+    /// for the driver to drain and time-stamp. Off by default so untraced
+    /// runs allocate nothing.
+    tracing: bool,
+    trace_log: Vec<TraceEvent>,
 }
 
 impl Machine {
@@ -193,7 +222,27 @@ impl Machine {
             iter_order: None,
             iter_cursor: 0,
             iter_shadow: None,
+            stats: SchedStats::default(),
+            tracing: false,
+            trace_log: Vec::new(),
         }
+    }
+
+    /// Lifetime scheduler activity counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Enable or disable decision-level trace logging (see
+    /// [`Machine::take_trace`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Drain trace events logged since the last call. Events carry no
+    /// timestamp; the caller (the driver) stamps them with sim time.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_log)
     }
 
     /// The machine's configuration.
@@ -206,8 +255,16 @@ impl Machine {
     /// # Panics
     /// Panics on duplicate submission or a job addressed to another machine.
     pub fn submit(&mut self, job: Job, now: SimTime) {
-        assert_eq!(job.machine, self.config.machine, "job {} submitted to wrong machine", job.id);
-        assert!(job.submit <= now, "job {} submitted before its submit time", job.id);
+        assert_eq!(
+            job.machine, self.config.machine,
+            "job {} submitted to wrong machine",
+            job.id
+        );
+        assert!(
+            job.submit <= now,
+            "job {} submitted before its submit time",
+            job.id
+        );
         let id = job.id;
         let predicted = self.predictor.predict(&job);
         self.predictions.insert(id, predicted);
@@ -233,7 +290,11 @@ impl Machine {
     /// Begin a scheduling iteration: clears the per-iteration yield skip
     /// set.
     pub fn begin_iteration(&mut self) {
-        assert!(self.pending.is_none(), "iteration started with a candidate outstanding");
+        assert!(
+            self.pending.is_none(),
+            "iteration started with a candidate outstanding"
+        );
+        self.stats.iterations += 1;
         self.skip.clear();
         self.iter_order = None;
         self.iter_cursor = 0;
@@ -261,7 +322,9 @@ impl Machine {
                 .filter(|id| self.states[id].demoted_at == Some(now))
                 .copied()
                 .collect();
-            let order = order_queue(self.config.policy, now, &views, &|j| demoted_ids.contains(&j.id));
+            let order = order_queue(self.config.policy, now, &views, &|j| {
+                demoted_ids.contains(&j.id)
+            });
             self.iter_order = Some(order.into_iter().map(|idx| self.queued[idx]).collect());
             self.iter_cursor = 0;
             self.iter_shadow = None;
@@ -269,7 +332,9 @@ impl Machine {
         while self.iter_cursor < self.iter_order.as_ref().expect("set above").len() {
             let id = self.iter_order.as_ref().expect("set above")[self.iter_cursor];
             self.iter_cursor += 1;
-            if self.skip.contains(&id) || self.states.get(&id).map(|st| st.status) != Some(JobStatus::Queued) {
+            if self.skip.contains(&id)
+                || self.states.get(&id).map(|st| st.status) != Some(JobStatus::Queued)
+            {
                 continue;
             }
             let size = self.states[&id].job.size;
@@ -277,10 +342,17 @@ impl Machine {
             let fits = self.allocator.can_fit(size);
             let admitted = match self.iter_shadow {
                 None => fits,
-                Some(s) => fits && self.config.backfill && s.admits(self.allocator.charged_nodes(size), now + planned),
+                Some(s) => {
+                    fits && self.config.backfill
+                        && s.admits(self.allocator.charged_nodes(size), now + planned)
+                }
             };
             if admitted {
-                let handle = self.allocator.alloc(size).expect("can_fit implies alloc succeeds");
+                let via_backfill = self.iter_shadow.is_some();
+                let handle = self
+                    .allocator
+                    .alloc(size)
+                    .expect("can_fit implies alloc succeeds");
                 let charged = self.allocator.charged_nodes(size);
                 let st = self.states.get_mut(&id).expect("queued job has state");
                 st.alloc = Some(handle);
@@ -289,7 +361,36 @@ impl Machine {
                 let pos = self.queued.iter().position(|&q| q == id).expect("queued");
                 self.queued.remove(pos);
                 self.pending = Some(id);
-                return Some(Candidate { job_id: id, size, charged });
+                self.stats.picks += 1;
+                if via_backfill {
+                    self.stats.backfill_hits += 1;
+                    if self.tracing {
+                        self.trace_log
+                            .push(TraceEvent::SchedBackfillHit { job: id.0, size });
+                    }
+                }
+                return Some(Candidate {
+                    job_id: id,
+                    size,
+                    charged,
+                    via_backfill,
+                });
+            }
+            if !fits {
+                let reason = if self.allocator.charged_nodes(size) <= self.allocator.free_nodes() {
+                    self.stats.alloc_fail_fragmentation += 1;
+                    AllocFailReason::Fragmentation
+                } else {
+                    self.stats.alloc_fail_capacity += 1;
+                    AllocFailReason::Capacity
+                };
+                if self.tracing {
+                    self.trace_log.push(TraceEvent::SchedAllocFail {
+                        job: id.0,
+                        size,
+                        reason,
+                    });
+                }
             }
             if self.iter_shadow.is_none() {
                 // Head job that does not fit: reserve and (maybe) backfill.
@@ -297,7 +398,7 @@ impl Machine {
                     self.iter_cursor = usize::MAX;
                     return None;
                 }
-                self.iter_shadow = Some(self.shadow_for(size, now));
+                self.iter_shadow = Some(self.shadow_for(id, size, now));
             }
         }
         None
@@ -313,7 +414,7 @@ impl Machine {
             .unwrap_or_else(|| self.states[&id].job.walltime)
     }
 
-    fn shadow_for(&self, head_size: u64, now: SimTime) -> Shadow {
+    fn shadow_for(&mut self, head_id: JobId, head_size: u64, now: SimTime) -> Shadow {
         let releases: Vec<ProjectedRelease> = self
             .running
             .iter()
@@ -347,16 +448,35 @@ impl Machine {
             // machine for no benefit (the head gets its block when the
             // sweep demotes the holders, not when running jobs coalesce).
             if self.held_nodes() > 0 {
-                return Shadow { time: SimTime::MAX, spare: u64::MAX };
+                return Shadow {
+                    time: SimTime::MAX,
+                    spare: u64::MAX,
+                };
+            }
+            self.stats.drains_engaged += 1;
+            if self.tracing {
+                self.trace_log.push(TraceEvent::SchedDrainEngaged {
+                    blocked_job: head_id.0,
+                    needed: charged,
+                    free_nodes: free,
+                });
             }
             let next_end = releases.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
-            return Shadow { time: next_end, spare: 0 };
+            return Shadow {
+                time: next_end,
+                spare: 0,
+            };
         }
         shadow
     }
 
     fn commit_check(&mut self, cand: &Candidate) {
-        assert_eq!(self.pending, Some(cand.job_id), "commit of a stale candidate {:?}", cand.job_id);
+        assert_eq!(
+            self.pending,
+            Some(cand.job_id),
+            "commit of a stale candidate {:?}",
+            cand.job_id
+        );
         self.pending = None;
     }
 
@@ -364,7 +484,10 @@ impl Machine {
     /// caller to schedule the end event.
     pub fn start(&mut self, cand: Candidate, now: SimTime) -> SimTime {
         self.commit_check(&cand);
-        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        let st = self
+            .states
+            .get_mut(&cand.job_id)
+            .expect("candidate has state");
         st.start = Some(now);
         st.status = JobStatus::Running;
         self.running.push(cand.job_id);
@@ -376,7 +499,10 @@ impl Machine {
     /// [`Machine::release_held`].
     pub fn hold(&mut self, cand: Candidate, now: SimTime) {
         self.commit_check(&cand);
-        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        let st = self
+            .states
+            .get_mut(&cand.job_id)
+            .expect("candidate has state");
         st.holds += 1;
         st.hold_since = Some(now);
         st.status = JobStatus::Held;
@@ -387,7 +513,10 @@ impl Machine {
     /// for the remainder of this iteration so other jobs get a chance.
     pub fn yield_job(&mut self, cand: Candidate, _now: SimTime) {
         self.commit_check(&cand);
-        let st = self.states.get_mut(&cand.job_id).expect("candidate has state");
+        let st = self
+            .states
+            .get_mut(&cand.job_id)
+            .expect("candidate has state");
         let handle = st.alloc.take().expect("candidate holds an allocation");
         st.charged = 0;
         st.yields += 1;
@@ -501,7 +630,9 @@ impl Machine {
             .filter(|qid| self.states[qid].demoted_at == Some(now))
             .copied()
             .collect();
-        let order = order_queue(self.config.policy, now, &views, &|j| demoted_ids.contains(&j.id));
+        let order = order_queue(self.config.policy, now, &views, &|j| {
+            demoted_ids.contains(&j.id)
+        });
         let head = self.queued[order[0]];
 
         let handle = if head == id {
@@ -524,7 +655,7 @@ impl Machine {
             } else {
                 // Head is blocked: honour its reservation like any
                 // backfill candidate.
-                let shadow = self.shadow_for(head_size, now);
+                let shadow = self.shadow_for(head, head_size, now);
                 let planned = self.planned_runtime(id);
                 if !shadow.admits(self.allocator.charged_nodes(size), now + planned) {
                     return None;
@@ -573,7 +704,9 @@ impl Machine {
 
     /// Lifecycle stage of `id` as seen by the protocol.
     pub fn status(&self, id: JobId) -> JobStatus {
-        self.states.get(&id).map_or(JobStatus::Unsubmitted, |st| st.status)
+        self.states
+            .get(&id)
+            .map_or(JobStatus::Unsubmitted, |st| st.status)
     }
 
     /// The job object, if submitted here.
@@ -753,7 +886,10 @@ mod tests {
         m.submit(job(2, 10, 90, 500, 500), t(10));
         m.submit(job(3, 20, 1, 10, 10), t(20));
         m.begin_iteration();
-        assert!(m.pick_next(t(20)).is_none(), "strict FCFS: nothing passes the head");
+        assert!(
+            m.pick_next(t(20)).is_none(),
+            "strict FCFS: nothing passes the head"
+        );
     }
 
     #[test]
@@ -774,13 +910,21 @@ mod tests {
         assert_eq!(m.held_node_seconds(t(30)), 1_800);
         let end = m.start_held(JobId(1), t(30)).unwrap();
         assert_eq!(end, t(130));
-        assert_eq!(m.held_node_seconds(t(999)), 1_800, "ledger frozen after start");
+        assert_eq!(
+            m.held_node_seconds(t(999)),
+            1_800,
+            "ledger frozen after start"
+        );
         m.finish(JobId(1), t(130));
         let rec = &m.records()[0];
         assert_eq!(rec.holds, 1);
         assert_eq!(rec.start, t(30));
         assert_eq!(rec.first_ready, Some(t(0)));
-        assert_eq!(rec.sync_time(), SimDuration::ZERO, "unpaired job has no sync time");
+        assert_eq!(
+            rec.sync_time(),
+            SimDuration::ZERO,
+            "unpaired job has no sync time"
+        );
     }
 
     #[test]
@@ -852,7 +996,10 @@ mod tests {
         let end = m.try_start_direct(JobId(2), t(100)).unwrap();
         assert_eq!(end, t(200));
         assert_eq!(m.status(JobId(2)), JobStatus::Running);
-        assert!(m.try_start_direct(JobId(2), t(100)).is_none(), "not queued anymore");
+        assert!(
+            m.try_start_direct(JobId(2), t(100)).is_none(),
+            "not queued anymore"
+        );
     }
 
     #[test]
@@ -1006,5 +1153,46 @@ mod tests {
         let c = m.pick_next(t(2)).unwrap();
         assert_eq!(c.job_id, JobId(1));
         let _ = m.start(c, t(2));
+    }
+
+    #[test]
+    fn stats_and_trace_capture_backfill_and_drain() {
+        let mut m = machine(100);
+        m.set_tracing(true);
+        // Running job blocks 80 nodes until t=1000.
+        m.submit(job(1, 0, 80, 1_000, 1_000), t(0));
+        m.begin_iteration();
+        let c = m.pick_next(t(0)).unwrap();
+        assert!(!c.via_backfill, "head-of-queue start on an empty machine");
+        let _ = m.start(c, t(0));
+        // Head blocked on capacity (90 > 20 free); 20-node short job backfills.
+        m.submit(job(2, 10, 90, 500, 500), t(10));
+        m.submit(job(3, 20, 20, 400, 400), t(20));
+        m.begin_iteration();
+        let c = m.pick_next(t(20)).unwrap();
+        assert_eq!(c.job_id, JobId(3));
+        assert!(c.via_backfill);
+        let _ = m.start(c, t(20));
+        assert!(m.pick_next(t(20)).is_none());
+
+        let stats = m.stats();
+        assert_eq!(stats.iterations, 2);
+        assert_eq!(stats.picks, 2);
+        assert_eq!(stats.backfill_hits, 1);
+        assert!(
+            stats.alloc_fail_capacity >= 1,
+            "head miss counted as capacity fail"
+        );
+        assert_eq!(stats.drains_engaged, 0, "flat allocator never fragments");
+
+        let trace = m.take_trace();
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SchedBackfillHit { job: 3, size: 20 })),
+            "backfill hit traced: {trace:?}"
+        );
+        assert!(trace.iter().any(|e| e.kind() == "sched-alloc-fail"));
+        assert!(m.take_trace().is_empty(), "take_trace drains the log");
     }
 }

@@ -88,7 +88,11 @@ pub fn order_queue(
         let (ja, jb) = (jobs[a].0, jobs[b].0);
         demoted(ja)
             .cmp(&demoted(jb))
-            .then_with(|| scores[b].partial_cmp(&scores[a]).expect("scores are finite"))
+            .then_with(|| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("scores are finite")
+            })
             .then_with(|| ja.submit.cmp(&jb.submit))
             .then_with(|| ja.id.cmp(&jb.id))
     });
@@ -152,7 +156,11 @@ mod tests {
 
     #[test]
     fn wfp_score_matches_formula() {
-        let s = wfp_score(SimDuration::from_secs(1_800), SimDuration::from_secs(3_600), 1_024);
+        let s = wfp_score(
+            SimDuration::from_secs(1_800),
+            SimDuration::from_secs(3_600),
+            1_024,
+        );
         assert!((s - 0.125 * 1_024.0).abs() < 1e-9);
     }
 

@@ -48,7 +48,10 @@ impl PredictorKind {
         match self {
             PredictorKind::UserEstimate => Box::new(UserEstimate),
             PredictorKind::Fraction { factor } => {
-                assert!(factor > 0.0 && factor <= 1.0, "fraction {factor} outside (0,1]");
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "fraction {factor} outside (0,1]"
+                );
                 Box::new(Fraction { factor })
             }
             PredictorKind::RecentRatio { window } => {
@@ -112,7 +115,9 @@ impl WalltimePredictor for RecentRatio {
             return job.walltime; // cold start: trust the request
         }
         let mean = self.sum / self.ratios.len() as f64;
-        job.walltime.scale(mean.clamp(0.01, 1.0)).max(PREDICTION_FLOOR)
+        job.walltime
+            .scale(mean.clamp(0.01, 1.0))
+            .max(PREDICTION_FLOOR)
     }
 
     fn observe(&mut self, job: &Job, actual: SimDuration) {

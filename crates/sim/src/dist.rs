@@ -29,7 +29,10 @@ impl Exponential {
     /// # Panics
     /// Panics if `mean` is not finite and positive.
     pub fn new(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
         Exponential { mean }
     }
 }
@@ -55,7 +58,10 @@ impl LogNormal {
     /// # Panics
     /// Panics if `sigma` is negative or parameters are non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad log-normal parameters mu={mu} sigma={sigma}");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad log-normal parameters mu={mu} sigma={sigma}"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -97,7 +103,10 @@ impl Weibull {
     /// # Panics
     /// Panics unless both parameters are finite and positive.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0, "bad Weibull parameters k={shape} lambda={scale}");
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "bad Weibull parameters k={shape} lambda={scale}"
+        );
         Weibull { shape, scale }
     }
 }
@@ -158,7 +167,10 @@ impl DiscreteWeighted {
     /// Panics if `buckets` is empty, any weight is negative/non-finite, or
     /// all weights are zero.
     pub fn new(buckets: &[(f64, f64)]) -> Self {
-        assert!(!buckets.is_empty(), "discrete distribution needs at least one bucket");
+        assert!(
+            !buckets.is_empty(),
+            "discrete distribution needs at least one bucket"
+        );
         let total: f64 = buckets
             .iter()
             .map(|&(_, w)| {

@@ -6,8 +6,10 @@
 //! message deliveries). The coupled-simulation driver in `cosched-core` is an
 //! `EventHandler` over the union of both machines' event types.
 
-use crate::event::{EventQueue, ScheduledEvent};
+use crate::event::{EventId, EventQueue, ScheduledEvent};
 use crate::time::SimTime;
+use cosched_obs::trace::GLOBAL;
+use cosched_obs::{NoopObserver, Observer, TraceEvent};
 
 /// Implemented by simulation models: reacts to one event at a time.
 pub trait EventHandler<E> {
@@ -25,26 +27,54 @@ pub enum StepOutcome {
 }
 
 /// Discrete-event simulation driver: a clock plus an event queue.
-pub struct Engine<E> {
+///
+/// Generic over an [`Observer`] that receives dispatch/cancel trace events;
+/// the default [`NoopObserver`] is zero-sized and compiles the tracing
+/// paths away entirely.
+pub struct Engine<E, O: Observer = NoopObserver> {
     now: SimTime,
     queue: EventQueue<E>,
     dispatched: u64,
+    observer: O,
 }
 
-impl<E> Default for Engine<E> {
+impl<E, O: Observer + Default> Default for Engine<E, O> {
     fn default() -> Self {
-        Self::new()
+        Self::with_observer(O::default())
     }
 }
 
 impl<E> Engine<E> {
-    /// A fresh engine at time zero with an empty queue.
+    /// A fresh engine at time zero with an empty queue and no tracing.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             dispatched: 0,
+            observer: NoopObserver,
         }
+    }
+}
+
+impl<E, O: Observer> Engine<E, O> {
+    /// A fresh engine emitting dispatch/cancel events into `observer`.
+    pub fn with_observer(observer: O) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+            observer,
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consume the engine, returning the observer (to read back a sink).
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// Current simulation time. Never moves backwards.
@@ -74,7 +104,7 @@ impl<E> Engine<E> {
     /// must schedule at or after `now`).
     pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> StepOutcome {
         match self.queue.pop() {
-            Some(ScheduledEvent { time, event, .. }) => {
+            Some(ScheduledEvent { time, event, id }) => {
                 assert!(
                     time >= self.now,
                     "event scheduled in the past: {} < {}",
@@ -83,11 +113,28 @@ impl<E> Engine<E> {
                 );
                 self.now = time;
                 self.dispatched += 1;
+                self.observer
+                    .emit_with(time.as_secs(), GLOBAL, || TraceEvent::EngineDispatch {
+                        seq: id.raw(),
+                    });
                 handler.handle(time, event, &mut self.queue);
                 StepOutcome::Dispatched
             }
             None => StepOutcome::Idle,
         }
+    }
+
+    /// Cancel a scheduled event, emitting a trace event when it was still
+    /// pending. Equivalent to `queue_mut().cancel(id)` plus tracing.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let cancelled = self.queue.cancel(id);
+        if cancelled {
+            self.observer
+                .emit_with(self.now.as_secs(), GLOBAL, || TraceEvent::EngineCancel {
+                    seq: id.raw(),
+                });
+        }
+        cancelled
     }
 
     /// Run until the queue drains.
@@ -163,6 +210,30 @@ mod tests {
         assert_eq!(model.fired.len(), 5);
         assert_eq!(engine.queue().len(), 1);
         assert_eq!(engine.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn observer_sees_dispatch_and_cancel() {
+        use cosched_obs::{SinkObserver, VecSink};
+
+        let mut engine = Engine::with_observer(SinkObserver::new(VecSink::default()));
+        engine.queue_mut().push(SimTime::from_secs(1), 2u32);
+        let doomed = engine.queue_mut().push(SimTime::from_secs(99), 7u32);
+        engine.cancel(doomed);
+        let mut model = Countdown { fired: vec![] };
+        engine.run(&mut model);
+        let records = engine.into_observer().into_sink().records;
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "engine-cancel",
+                "engine-dispatch",
+                "engine-dispatch",
+                "engine-dispatch"
+            ]
+        );
+        assert_eq!(records[0].time, 0, "cancel happened before the clock moved");
     }
 
     #[test]

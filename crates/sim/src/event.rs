@@ -16,6 +16,14 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// The underlying sequence number (stable, deterministic; used as the
+    /// event identity in traces).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// An event together with its dispatch time and identity.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {
@@ -62,6 +70,8 @@ pub struct EventQueue<E> {
     /// Membership here is the source of truth for "pending".
     pending: HashSet<u64>,
     next_seq: u64,
+    high_water: usize,
+    cancelled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,6 +87,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             pending: HashSet::new(),
             next_seq: 0,
+            high_water: 0,
+            cancelled: 0,
         }
     }
 
@@ -87,6 +99,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(HeapEntry { time, seq, event });
         self.pending.insert(seq);
+        self.high_water = self.high_water.max(self.pending.len());
         EventId(seq)
     }
 
@@ -94,7 +107,11 @@ impl<E> EventQueue<E> {
     /// still pending (i.e. not yet popped or cancelled). Cancelling an
     /// already-fired or already-cancelled event is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let removed = self.pending.remove(&id.0);
+        if removed {
+            self.cancelled += 1;
+        }
+        removed
     }
 
     /// Remove and return the earliest pending event, skipping cancelled ones.
@@ -132,6 +149,17 @@ impl<E> EventQueue<E> {
     /// True if no pending events remain.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Largest number of events ever simultaneously pending (throughput /
+    /// memory diagnostics; surfaced in `SimulationReport`).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total events cancelled over the queue's lifetime.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 }
 
@@ -213,6 +241,24 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_and_cancel_counters_track_lifetime() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        q.push(t(3), 3);
+        assert_eq!(q.high_water(), 3);
+        q.cancel(a);
+        q.cancel(a); // double cancel must not double count
+        assert_eq!(q.cancelled(), 1);
+        q.pop();
+        q.pop();
+        // Draining does not lower the high-water mark.
+        assert_eq!(q.high_water(), 3);
+        q.push(t(4), 4);
+        assert_eq!(q.high_water(), 3, "never exceeded 3 pending");
     }
 
     #[test]

@@ -21,11 +21,15 @@ pub const DAY: SimDuration = SimDuration(86_400);
 
 /// An absolute instant on the simulation clock, in seconds since the start
 /// of the simulation epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -120,7 +124,10 @@ impl SimDuration {
     /// Panics in debug builds if `factor` is negative or non-finite.
     #[inline]
     pub fn scale(self, factor: f64) -> SimDuration {
-        debug_assert!(factor.is_finite() && factor >= 0.0, "invalid scale factor {factor}");
+        debug_assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -286,7 +293,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(SimDuration::from_secs(8).to_string(), "8s");
         assert_eq!(SimDuration::from_secs(2832).to_string(), "47m12s");
-        assert_eq!(SimDuration::from_secs(2 * 86_400 + 3 * 3_600 + 5).to_string(), "2d03h00m05s");
+        assert_eq!(
+            SimDuration::from_secs(2 * 86_400 + 3 * 3_600 + 5).to_string(),
+            "2d03h00m05s"
+        );
         assert_eq!(SimTime::from_secs(61).to_string(), "t+1m01s");
     }
 

@@ -292,8 +292,8 @@ impl TraceGenerator {
             if submit > self.span.as_secs() {
                 break;
             }
-            let rate_frac = (1.0 + amplitude * (std::f64::consts::TAU * clock / day).sin())
-                / (1.0 + amplitude);
+            let rate_frac =
+                (1.0 + amplitude * (std::f64::consts::TAU * clock / day).sin()) / (1.0 + amplitude);
             if amplitude == 0.0 || rng.chance(rate_frac) {
                 s.push(submit);
             }

@@ -13,7 +13,9 @@ pub struct JobId(pub u64);
 /// The paper couples exactly two systems; the type is an index rather than a
 /// two-variant enum because the future-work section contemplates N-way
 /// coscheduling, and nothing in the algorithm is binary-specific.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct MachineId(pub usize);
 
 /// Cross-domain reference to a job's *mate*: the associated job on the other

@@ -127,7 +127,10 @@ pub fn thin_pairs_to_share(
     target_share: f64,
     rng: &mut SimRng,
 ) -> usize {
-    assert!((0.0..=1.0).contains(&target_share), "share {target_share} outside [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&target_share),
+        "share {target_share} outside [0,1]"
+    );
     let total_jobs = a.len() + b.len();
     let current: Vec<(crate::job::JobId, crate::job::JobId)> = a
         .jobs()
@@ -168,12 +171,18 @@ fn apply_pairs(a: &mut Trace, b: &mut Trace, pairs: &[(crate::job::JobId, crate:
     for &(ida, idb) in pairs {
         for j in a.jobs_mut() {
             if j.id == ida {
-                j.mate = Some(MateRef { machine: mb, job: idb });
+                j.mate = Some(MateRef {
+                    machine: mb,
+                    job: idb,
+                });
             }
         }
         for j in b.jobs_mut() {
             if j.id == idb {
-                j.mate = Some(MateRef { machine: ma, job: ida });
+                j.mate = Some(MateRef {
+                    machine: ma,
+                    job: ida,
+                });
             }
         }
     }
@@ -186,10 +195,20 @@ pub fn validate_pairing(a: &Trace, b: &Trace) -> Result<(), String> {
         for j in x.jobs().iter().filter(|j| j.is_paired()) {
             let m = j.mate.expect("filtered to paired");
             if m.machine != y.machine() {
-                return Err(format!("{}/{} points at machine {}", x.machine(), j.id, m.machine));
+                return Err(format!(
+                    "{}/{} points at machine {}",
+                    x.machine(),
+                    j.id,
+                    m.machine
+                ));
             }
             let Some(mate) = y.get(m.job) else {
-                return Err(format!("{}/{} points at missing job {}", x.machine(), j.id, m.job));
+                return Err(format!(
+                    "{}/{} points at missing job {}",
+                    x.machine(),
+                    j.id,
+                    m.job
+                ));
             };
             let back = mate
                 .mate
@@ -228,11 +247,19 @@ mod tests {
     fn traces(a_submits: &[u64], b_submits: &[u64]) -> (Trace, Trace) {
         let a = Trace::from_jobs(
             MachineId(0),
-            a_submits.iter().enumerate().map(|(i, &s)| mk(0, i as u64, s)).collect(),
+            a_submits
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| mk(0, i as u64, s))
+                .collect(),
         );
         let b = Trace::from_jobs(
             MachineId(1),
-            b_submits.iter().enumerate().map(|(i, &s)| mk(1, i as u64, s)).collect(),
+            b_submits
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| mk(1, i as u64, s))
+                .collect(),
         );
         (a, b)
     }
@@ -263,8 +290,14 @@ mod tests {
     #[test]
     fn window_rule_skips_already_paired() {
         let (mut a, mut b) = traces(&[0], &[30]);
-        a.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(1), job: JobId(0) });
-        b.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(0), job: JobId(0) });
+        a.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(0),
+        });
+        b.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(0),
+            job: JobId(0),
+        });
         let n = pair_by_window(&mut a, &mut b, SimDuration::from_mins(2));
         assert_eq!(n, 0);
     }
@@ -362,7 +395,10 @@ mod tests {
     #[test]
     fn validate_detects_asymmetry() {
         let (mut a, b) = traces(&[0], &[0]);
-        a.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(1), job: JobId(0) });
+        a.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(0),
+        });
         let err = validate_pairing(&a, &b).unwrap_err();
         assert!(err.contains("not mutual"), "{err}");
     }
@@ -370,7 +406,10 @@ mod tests {
     #[test]
     fn validate_detects_dangling_ref() {
         let (mut a, b) = traces(&[0], &[0]);
-        a.jobs_mut()[0].mate = Some(MateRef { machine: MachineId(1), job: JobId(99) });
+        a.jobs_mut()[0].mate = Some(MateRef {
+            machine: MachineId(1),
+            job: JobId(99),
+        });
         let err = validate_pairing(&a, &b).unwrap_err();
         assert!(err.contains("missing job"), "{err}");
     }

@@ -27,7 +27,14 @@ impl SampleSummary {
     /// Summarise a sample; all-zero for an empty one.
     pub fn of(mut xs: Vec<f64>) -> Self {
         if xs.is_empty() {
-            return SampleSummary { count: 0, min: 0.0, mean: 0.0, median: 0.0, p95: 0.0, max: 0.0 };
+            return SampleSummary {
+                count: 0,
+                min: 0.0,
+                mean: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in workload stats"));
         let count = xs.len();
@@ -114,13 +121,13 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
 /// values ≥ the last edge land in the final bucket).
 pub fn size_histogram(trace: &Trace, edges: &[u64]) -> Vec<usize> {
     assert!(!edges.is_empty(), "histogram needs at least one edge");
-    assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly increasing");
+    assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "edges must be strictly increasing"
+    );
     let mut counts = vec![0usize; edges.len()];
     for j in trace.jobs() {
-        let bucket = edges
-            .iter()
-            .rposition(|&e| j.size >= e)
-            .unwrap_or(0);
+        let bucket = edges.iter().rposition(|&e| j.size >= e).unwrap_or(0);
         counts[bucket] += 1;
     }
     counts
@@ -129,7 +136,9 @@ pub fn size_histogram(trace: &Trace, edges: &[u64]) -> Vec<usize> {
 /// Offered load per day (node-seconds demanded by jobs submitted that day),
 /// a quick stability check across the trace span.
 pub fn daily_offered_node_seconds(trace: &Trace) -> Vec<u64> {
-    let Some(last) = trace.last_submit() else { return Vec::new() };
+    let Some(last) = trace.last_submit() else {
+        return Vec::new();
+    };
     let days = (last.as_secs() / 86_400 + 1) as usize;
     let mut out = vec![0u64; days];
     for j in trace.jobs() {
@@ -157,7 +166,12 @@ pub fn render_stats(name: &str, s: &TraceStats) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let dur = |secs: f64| SimDuration::from_secs(secs.round() as u64).to_string();
-    let _ = writeln!(out, "{name}: {} jobs over {}", s.jobs, SimDuration::from_secs(s.span_secs));
+    let _ = writeln!(
+        out,
+        "{name}: {} jobs over {}",
+        s.jobs,
+        SimDuration::from_secs(s.span_secs)
+    );
     let _ = writeln!(
         out,
         "  sizes (nodes):  min {:.0}  mean {:.1}  median {:.0}  p95 {:.0}  max {:.0}",
@@ -166,7 +180,11 @@ pub fn render_stats(name: &str, s: &TraceStats) -> String {
     let _ = writeln!(
         out,
         "  runtimes:       min {}  mean {}  median {}  p95 {}  max {}",
-        dur(s.runtimes.min), dur(s.runtimes.mean), dur(s.runtimes.median), dur(s.runtimes.p95), dur(s.runtimes.max)
+        dur(s.runtimes.min),
+        dur(s.runtimes.mean),
+        dur(s.runtimes.median),
+        dur(s.runtimes.p95),
+        dur(s.runtimes.max)
     );
     let _ = writeln!(
         out,
@@ -176,7 +194,8 @@ pub fn render_stats(name: &str, s: &TraceStats) -> String {
     let _ = writeln!(
         out,
         "  interarrival:   mean {}  median {}",
-        dur(s.interarrivals.mean), dur(s.interarrivals.median)
+        dur(s.interarrivals.mean),
+        dur(s.interarrivals.median)
     );
     let _ = writeln!(out, "  paired fraction: {:.1}%", s.paired_fraction * 100.0);
     out
@@ -263,8 +282,8 @@ mod tests {
     #[test]
     fn daily_load_profile() {
         let t = trace(vec![
-            mk(1, 0, 10, 3_600, 3_600),            // day 0: 36_000
-            mk(2, 86_400 + 5, 20, 3_600, 3_600),   // day 1: 72_000
+            mk(1, 0, 10, 3_600, 3_600),          // day 0: 36_000
+            mk(2, 86_400 + 5, 20, 3_600, 3_600), // day 1: 72_000
         ]);
         assert_eq!(daily_offered_node_seconds(&t), vec![36_000, 72_000]);
         let unevenness = daily_load_unevenness(&t);
@@ -303,6 +322,10 @@ mod tests {
         assert!(s.sizes.max <= 32_768.0);
         assert!(s.overestimate.mean > 1.0 && s.overestimate.mean < 3.5);
         // Poisson arrivals: daily load unevenness stays moderate.
-        assert!(daily_load_unevenness(&t) < 0.5, "unevenness {}", daily_load_unevenness(&t));
+        assert!(
+            daily_load_unevenness(&t) < 0.5,
+            "unevenness {}",
+            daily_load_unevenness(&t)
+        );
     }
 }

@@ -105,7 +105,11 @@ pub fn read_swf<R: BufRead>(reader: R, machine: MachineId) -> Result<(Trace, usi
                 reason: format!("negative job number or submit time ({id}, {submit})"),
             });
         }
-        let size = if req_procs > 0 { req_procs } else { alloc_procs };
+        let size = if req_procs > 0 {
+            req_procs
+        } else {
+            alloc_procs
+        };
         if runtime <= 0 || size <= 0 {
             skipped += 1;
             continue;
@@ -130,7 +134,12 @@ pub fn read_swf<R: BufRead>(reader: R, machine: MachineId) -> Result<(Trace, usi
 
 /// Serialise a [`Trace`] as SWF. Unknown fields are written as `-1`.
 pub fn write_swf<W: Write>(mut writer: W, trace: &Trace) -> std::io::Result<()> {
-    writeln!(writer, "; SWF export of {} ({} jobs)", trace.machine(), trace.len())?;
+    writeln!(
+        writer,
+        "; SWF export of {} ({} jobs)",
+        trace.machine(),
+        trace.len()
+    )?;
     writeln!(writer, "; fields: id submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue part prev think")?;
     for j in trace.jobs() {
         writeln!(

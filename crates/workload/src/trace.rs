@@ -151,7 +151,10 @@ impl Trace {
     /// # Panics
     /// Panics if `factor` is not finite and positive.
     pub fn scale_intervals(&mut self, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "bad interval scale factor {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bad interval scale factor {factor}"
+        );
         if self.jobs.len() < 2 {
             return;
         }
@@ -180,7 +183,10 @@ impl Trace {
     /// Panics if `target` is not in `(0, 1.5]` (beyond-saturation targets are
     /// almost certainly configuration errors) or the trace has < 2 jobs.
     pub fn scale_to_utilization(&mut self, capacity: u64, target: f64) -> f64 {
-        assert!(target > 0.0 && target <= 1.5, "unreasonable utilization target {target}");
+        assert!(
+            target > 0.0 && target <= 1.5,
+            "unreasonable utilization target {target}"
+        );
         assert!(self.jobs.len() >= 2, "need at least two jobs to rescale");
         for _ in 0..8 {
             let current = self.offered_utilization(capacity);
@@ -195,7 +201,9 @@ impl Trace {
 
     /// Shift all submissions so the first job arrives at `origin`.
     pub fn rebase(&mut self, origin: SimTime) {
-        let Some(first) = self.first_submit() else { return };
+        let Some(first) = self.first_submit() else {
+            return;
+        };
         if first == origin {
             return;
         }
@@ -281,7 +289,11 @@ mod tests {
 
     #[test]
     fn scale_intervals_doubles_span() {
-        let mut t = trace(vec![mk(1, 100, 1, 10), mk(2, 200, 1, 10), mk(3, 400, 1, 10)]);
+        let mut t = trace(vec![
+            mk(1, 100, 1, 10),
+            mk(2, 200, 1, 10),
+            mk(3, 400, 1, 10),
+        ]);
         t.scale_intervals(2.0);
         let submits: Vec<_> = t.jobs().iter().map(|j| j.submit.as_secs()).collect();
         assert_eq!(submits, vec![100, 300, 700]); // first anchored, gaps doubled
@@ -296,9 +308,7 @@ mod tests {
 
     #[test]
     fn scale_to_utilization_converges() {
-        let jobs: Vec<Job> = (0..200)
-            .map(|i| mk(i, i * 600, 10, 300))
-            .collect();
+        let jobs: Vec<Job> = (0..200).map(|i| mk(i, i * 600, 10, 300)).collect();
         let mut t = trace(jobs);
         let achieved = t.scale_to_utilization(100, 0.5);
         assert!((achieved - 0.5).abs() < 0.01, "achieved {achieved}");
@@ -328,7 +338,12 @@ mod tests {
 
     #[test]
     fn paired_accounting() {
-        let mut jobs = vec![mk(1, 0, 1, 10), mk(2, 5, 1, 10), mk(3, 9, 1, 10), mk(4, 12, 1, 10)];
+        let mut jobs = vec![
+            mk(1, 0, 1, 10),
+            mk(2, 5, 1, 10),
+            mk(3, 9, 1, 10),
+            mk(4, 12, 1, 10),
+        ];
         jobs[1].mate = Some(MateRef {
             machine: MachineId(1),
             job: JobId(7),

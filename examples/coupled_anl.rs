@@ -59,7 +59,13 @@ fn main() {
         ],
     );
 
-    for combo in [None, Some(SchemeCombo::HH), Some(SchemeCombo::HY), Some(SchemeCombo::YH), Some(SchemeCombo::YY)] {
+    for combo in [
+        None,
+        Some(SchemeCombo::HH),
+        Some(SchemeCombo::HY),
+        Some(SchemeCombo::YH),
+        Some(SchemeCombo::YY),
+    ] {
         let config = match combo {
             Some(c) => CoupledConfig::anl(c),
             None => CoupledConfig::anl_baseline(),
@@ -82,7 +88,10 @@ fn main() {
                 report.all_pairs_synchronized().to_string()
             },
         ]);
-        assert!(!report.deadlocked, "no configuration may deadlock with the breaker on");
+        assert!(
+            !report.deadlocked,
+            "no configuration may deadlock with the breaker on"
+        );
     }
     print!("{table}");
 }

@@ -33,10 +33,22 @@ fn traces() -> [Trace; 2] {
     let mut a2 = mk(0, 2, 60);
     let mut b2 = mk(1, 2, 0);
     let mut b1 = mk(1, 1, 60);
-    a1.mate = Some(MateRef { machine: MachineId(1), job: JobId(1) });
-    b1.mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
-    a2.mate = Some(MateRef { machine: MachineId(1), job: JobId(2) });
-    b2.mate = Some(MateRef { machine: MachineId(0), job: JobId(2) });
+    a1.mate = Some(MateRef {
+        machine: MachineId(1),
+        job: JobId(1),
+    });
+    b1.mate = Some(MateRef {
+        machine: MachineId(0),
+        job: JobId(1),
+    });
+    a2.mate = Some(MateRef {
+        machine: MachineId(1),
+        job: JobId(2),
+    });
+    b2.mate = Some(MateRef {
+        machine: MachineId(0),
+        job: JobId(2),
+    });
     [
         Trace::from_jobs(MachineId(0), vec![a1, a2]),
         Trace::from_jobs(MachineId(1), vec![b1, b2]),

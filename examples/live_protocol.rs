@@ -48,15 +48,21 @@ fn main() {
     );
 
     // Each domain serves the protocol for its peer.
-    let srv_compute = tcp::serve("127.0.0.1:0".parse().unwrap(), compute.service({
-        let now = now.clone();
-        move || now()
-    }))
+    let srv_compute = tcp::serve(
+        "127.0.0.1:0".parse().unwrap(),
+        compute.service({
+            let now = now.clone();
+            move || now()
+        }),
+    )
     .expect("bind compute service");
-    let srv_analysis = tcp::serve("127.0.0.1:0".parse().unwrap(), analysis.service({
-        let now = now.clone();
-        move || now()
-    }))
+    let srv_analysis = tcp::serve(
+        "127.0.0.1:0".parse().unwrap(),
+        analysis.service({
+            let now = now.clone();
+            move || now()
+        }),
+    )
     .expect("bind analysis service");
     println!(
         "compute domain serving on {}, analysis domain on {}",
@@ -86,13 +92,19 @@ fn main() {
     analysis.pump(now(), &mut analysis_to_compute);
     compute.submit(job(0, 1, 32, 10), now());
     compute.pump(now(), &mut compute_to_analysis);
-    println!("tick 0: compute holds {:?} (mate not submitted yet)", compute.held());
+    println!(
+        "tick 0: compute holds {:?} (mate not submitted yet)",
+        compute.held()
+    );
 
     // Tick 2: the analysis mate arrives but the filler still runs.
     clock.store(2, Ordering::SeqCst);
     analysis.submit(job(1, 1, 8, 10), now());
     analysis.pump(now(), &mut analysis_to_compute);
-    println!("tick 2: analysis mate queued (cluster full), compute still holds {:?}", compute.held());
+    println!(
+        "tick 2: analysis mate queued (cluster full), compute still holds {:?}",
+        compute.held()
+    );
 
     // Tick 5: the filler finishes; the analysis domain pumps, sees the
     // compute mate holding, and both start — simultaneously.
@@ -100,7 +112,10 @@ fn main() {
     analysis.complete_due(now());
     analysis.pump(now(), &mut analysis_to_compute);
     compute.pump(now(), &mut compute_to_analysis);
-    println!("tick 5: compute holds {:?} (should be empty — pair started)", compute.held());
+    println!(
+        "tick 5: compute holds {:?} (should be empty — pair started)",
+        compute.held()
+    );
 
     // Let everything finish.
     clock.store(30, Ordering::SeqCst);
@@ -109,8 +124,16 @@ fn main() {
 
     let rc = compute.records();
     let ra = analysis.records();
-    let cstart = rc.iter().find(|r| r.id == JobId(1)).expect("compute job ran").start;
-    let astart = ra.iter().find(|r| r.id == JobId(1)).expect("analysis job ran").start;
+    let cstart = rc
+        .iter()
+        .find(|r| r.id == JobId(1))
+        .expect("compute job ran")
+        .start;
+    let astart = ra
+        .iter()
+        .find(|r| r.id == JobId(1))
+        .expect("analysis job ran")
+        .start;
     println!(
         "pair started at compute t={} / analysis t={} — synchronized = {}",
         cstart,

@@ -85,7 +85,10 @@ fn main() {
 
     let report = NwaySimulation::new(config, traces, registry).run();
 
-    println!("events: {}, deadlocked: {}", report.events, report.deadlocked);
+    println!(
+        "events: {}, deadlocked: {}",
+        report.events, report.deadlocked
+    );
     for (m, recs) in report.records.iter().enumerate() {
         for r in recs {
             println!(
@@ -102,7 +105,10 @@ fn main() {
         report.group_spreads,
         report.all_groups_synchronized()
     );
-    assert!(report.all_groups_synchronized(), "3-way group must co-start");
+    assert!(
+        report.all_groups_synchronized(),
+        "3-way group must co-start"
+    );
 
     // The rendezvous is gated by the slowest machine: the CPU cluster's
     // background CFD run occupies 400 of 512 nodes for 90 minutes, leaving

@@ -9,10 +9,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use coupled_cosched::prelude::*;
 use coupled_cosched::cosched::CoschedConfig;
-use coupled_cosched::workload::MateRef;
+use coupled_cosched::prelude::*;
 use coupled_cosched::sim::SimDuration;
+use coupled_cosched::workload::MateRef;
 
 fn main() {
     // Two machines with their own resource managers and policies.
@@ -43,8 +43,14 @@ fn main() {
 
     // Declare the association (in production this is a pair token in both
     // job submissions).
-    jobs_a[1].mate = Some(MateRef { machine: MachineId(1), job: JobId(2) });
-    jobs_b[1].mate = Some(MateRef { machine: MachineId(0), job: JobId(2) });
+    jobs_a[1].mate = Some(MateRef {
+        machine: MachineId(1),
+        job: JobId(2),
+    });
+    jobs_b[1].mate = Some(MateRef {
+        machine: MachineId(0),
+        job: JobId(2),
+    });
 
     let traces = [
         Trace::from_jobs(MachineId(0), jobs_a),
@@ -64,7 +70,10 @@ fn main() {
 
     let report = CoupledSimulation::new(config, traces).run();
 
-    println!("simulated {} events, horizon {}", report.events, report.horizon);
+    println!(
+        "simulated {} events, horizon {}",
+        report.events, report.horizon
+    );
     for (m, name) in [(0, "compute"), (1, "analysis")] {
         for r in &report.records[m] {
             println!(
@@ -82,5 +91,8 @@ fn main() {
         report.max_pair_offset(),
         report.all_pairs_synchronized()
     );
-    assert!(report.all_pairs_synchronized(), "quickstart pair must start together");
+    assert!(
+        report.all_pairs_synchronized(),
+        "quickstart pair must start together"
+    );
 }

@@ -51,9 +51,9 @@ fn main() {
         Trace::from_jobs(
             MachineId(1),
             vec![
-                job(1, 9, 0, 32, 8),   // unrelated job briefly hogging the analysis cluster
-                job(1, 1, 1, 8, 200),  // monitoring dashboard
-                job(1, 2, 1, 16, 60),  // checkpoint analysis
+                job(1, 9, 0, 32, 8),  // unrelated job briefly hogging the analysis cluster
+                job(1, 1, 1, 8, 200), // monitoring dashboard
+                job(1, 2, 1, 16, 60), // checkpoint analysis
             ],
         ),
     ];
@@ -62,7 +62,9 @@ fn main() {
         ConstraintInstance {
             a: JobId(1),
             b: JobId(1),
-            constraint: TemporalConstraint::StartWithin { window: SimDuration::from_mins(10) },
+            constraint: TemporalConstraint::StartWithin {
+                window: SimDuration::from_mins(10),
+            },
         },
         ConstraintInstance {
             a: JobId(1),
@@ -76,7 +78,10 @@ fn main() {
 
     let report = TemporalSimulation::new(machines, cosched, traces, constraints).run();
 
-    println!("events: {}, deadlocked: {}", report.events, report.deadlocked);
+    println!(
+        "events: {}, deadlocked: {}",
+        report.events, report.deadlocked
+    );
     for (m, recs) in report.records.iter().enumerate() {
         for r in recs {
             println!(

@@ -1,0 +1,173 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! `Bytes`/`BytesMut` are plain `Vec<u8>` wrappers (no refcounted slab —
+//! the workspace only frames small control-plane messages), exposing the
+//! subset of the upstream API the proto crate uses.
+
+/// Read cursor over a buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+}
+
+/// Write cursor over a growable buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_u32(&mut self, value: u32);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    /// Split off the first `at` bytes, leaving the remainder in `self`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.0.len(), "split_to out of bounds");
+        let rest = self.0.split_off(at);
+        BytesMut(std::mem::replace(&mut self.0, rest))
+    }
+
+    /// Freeze into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.0.len(), "advance out of bounds");
+        self.0.drain(..cnt);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, value: u32) {
+        self.0.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.0.len(), "advance out of bounds");
+        self.0.drain(..cnt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_ops() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_slice(b"payload");
+        assert_eq!(buf.len(), 11);
+        assert_eq!(&buf[..4], &0xDEAD_BEEFu32.to_be_bytes());
+        let head = buf.split_to(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(&buf[..], b"payload");
+        buf.advance(3);
+        assert_eq!(&buf[..], b"load");
+        let frozen = buf.freeze();
+        assert_eq!(frozen.iter().count(), 4);
+    }
+}

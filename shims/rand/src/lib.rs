@@ -1,0 +1,230 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! exactly the surface the workspace uses: `rngs::StdRng` (seeded via
+//! `SeedableRng::seed_from_u64`), the `RngCore` and `Rng` traits with
+//! `gen::<f64>()` and `gen_range` over integer ranges, and `rand::Error`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — statistically
+//! solid for simulation workloads and fully deterministic. Streams differ
+//! from upstream `rand`, which is fine: the workspace only relies on
+//! determinism for a fixed seed, never on upstream-exact sequences.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Error type mirroring `rand::Error`; the shim's generators never fail.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Seed from a single `u64` (splitmix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling of a "standard" value from raw bits, backing [`Rng::gen`].
+pub trait StandardSample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// A range that can produce a uniform sample, backing [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + uniform_u64(rng, span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(uniform_u64(rng, span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Uniform value in `[0, span)` via widening multiply (Lemire's method,
+/// without the rejection step: bias is at most 2^-64, immaterial here).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// Convenience sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the serde shim's
+//! Value-tree model without pulling in `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro::TokenStream`, extracting only item kind,
+//! name, field names, and field counts (field *types* are never parsed —
+//! generated code lets inference pick the right `from_value` impl).
+//!
+//! Supported shapes (everything this workspace derives):
+//! * named-field structs,
+//! * tuple structs (1-field newtypes serialize transparently, n-field as
+//!   arrays — matching upstream serde),
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Unsupported: generics, `#[serde(...)]` attributes (none are used here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item, mode)
+            .parse()
+            .expect("generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, visibility, and misc qualifiers until struct/enum.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("derive input has no struct/enum keyword".to_string()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let text = id.to_string();
+                if text == "struct" || text == "enum" {
+                    i += 1;
+                    break text;
+                }
+                i += 1; // pub, crate, etc.
+            }
+            Some(_) => i += 1, // e.g. the group of pub(crate)
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive shim does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected item body for `{name}`, found {other:?}")),
+    };
+
+    if kind == "enum" {
+        let variants = parse_variants(body.stream())?;
+        return Ok(Item::Enum { name, variants });
+    }
+
+    match body.delimiter() {
+        Delimiter::Brace => {
+            let fields = parse_named_fields(body.stream())?;
+            Ok(Item::NamedStruct { name, fields })
+        }
+        Delimiter::Parenthesis => {
+            let arity = split_top_level_commas(body.stream()).len();
+            Ok(Item::TupleStruct { name, arity })
+        }
+        other => Err(format!("unexpected struct body delimiter {other:?}")),
+    }
+}
+
+/// Split a token stream on commas at angle-bracket depth zero. `<`/`>`
+/// appear as `Punct`s (bracket/paren groups are atomic `Group` tokens), so a
+/// simple depth counter suffices for types like `BTreeMap<String, u64>`.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                // `->` in fn-pointer types would confuse the counter; no
+                // derived type here uses one.
+                _ => {}
+            }
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extract field names from a named-field body: per chunk, skip attributes
+/// and visibility, then take the ident preceding `:`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            first_bare_ident(&chunk).ok_or_else(|| "could not find field name".to_string())
+        })
+        .collect()
+}
+
+/// First ident in the chunk after skipping `#[...]` attributes and
+/// visibility qualifiers.
+fn first_bare_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        match chunk.get(i)? {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                if text == "pub" {
+                    i += 1;
+                    // skip pub(...) restriction group
+                    if matches!(chunk.get(i), Some(TokenTree::Group(_))) {
+                        i += 1;
+                    }
+                } else {
+                    return Some(text);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let name = first_bare_ident(&chunk)
+                .ok_or_else(|| "could not find variant name".to_string())?;
+            // Locate a payload group following the name, if any.
+            let shape = chunk
+                .iter()
+                .rev()
+                .find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => Some(
+                        VariantShape::Tuple(split_top_level_commas(g.stream()).len()),
+                    ),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(
+                        VariantShape::Named(parse_named_fields(g.stream()).unwrap_or_default()),
+                    ),
+                    _ => None,
+                })
+                .unwrap_or(VariantShape::Unit);
+            Ok(Variant { name, shape })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => generate_serialize(item),
+        Mode::Deserialize => generate_deserialize(item),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            (
+                name,
+                format!(
+                    "::serde::Value::object_from_fields(::std::vec![{}])",
+                    pairs.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => \
+             ::serde::Value::object1({vname:?}, ::serde::Serialize::to_value(f0)),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::object1({vname:?}, \
+                 ::serde::Value::Array(::std::vec![{}])),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::object1({vname:?}, \
+                 ::serde::Value::object_from_fields(::std::vec![{}])),",
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array_n({arity}usize)?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{ let __items = __inner.as_array_n({n}usize)?; \
+                         ::std::result::Result::Ok({name}::{vname}({})) }},",
+                        items.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(__inner.field({f:?})?)?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "if let ::serde::Value::String(__s) = __v {{\n\
+         return match __s.as_str() {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+         \"unknown variant `{{__other}}` for {name}\"))),\n\
+         }};\n\
+         }}\n\
+         let (__tag, __inner) = __v.single_entry()?;\n\
+         match __tag {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+         \"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}

@@ -1,0 +1,100 @@
+//! Minimal offline stand-in for `serde_json`, built on the serde shim's
+//! [`Value`] tree: serialize = lower to `Value` + write JSON text;
+//! deserialize = parse JSON text + raise from `Value`.
+
+pub use serde::value::{Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::value::{parse_json, write_json};
+use serde::Serialize;
+
+/// JSON error (message-only).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn from_de(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parse_json(input).map_err(Error::from_de)?;
+    T::from_value(&value).map_err(Error::from_de)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree into a concrete type.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from_de)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_value_trees() {
+        let v: Value = from_str(r#"{"a": [1, -2, 3.5, "x", null, true]}"#).unwrap();
+        let text = to_string(&v).unwrap();
+        let again: Value = from_str(&text).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some = to_string(&Some(5u64)).unwrap();
+        assert_eq!(some, "5");
+        let none = to_string(&Option::<u64>::None).unwrap();
+        assert_eq!(none, "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("5").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn vec_of_tuples_roundtrip() {
+        let pairs: Vec<(u64, u64)> = vec![(1, 2), (3, 4)];
+        let text = to_string(&pairs).unwrap();
+        assert_eq!(text, "[[1,2],[3,4]]");
+        let again: Vec<(u64, u64)> = from_str(&text).unwrap();
+        assert_eq!(pairs, again);
+    }
+}

@@ -14,14 +14,18 @@
 //!   (N-way coscheduling, inter-job temporal constraints),
 //! * [`resv`] — the advance co-reservation baseline of the §III comparison,
 //! * [`metrics`] — evaluation metrics (wait, slowdown, sync time,
-//!   service-unit loss).
+//!   service-unit loss),
+//! * [`obs`] — the observability layer: structured sim-time trace events,
+//!   sinks (JSONL, ring buffer), a metrics registry, and wall-clock phase
+//!   profiling, all guaranteed not to perturb simulation outcomes.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
 pub use cosched_core as cosched;
 pub use cosched_metrics as metrics;
-pub use cosched_resv as resv;
+pub use cosched_obs as obs;
 pub use cosched_proto as proto;
+pub use cosched_resv as resv;
 pub use cosched_sched as sched;
 pub use cosched_sim as sim;
 pub use cosched_workload as workload;
@@ -29,8 +33,12 @@ pub use cosched_workload as workload;
 /// Commonly used items, importable as `use coupled_cosched::prelude::*`.
 pub mod prelude {
     pub use cosched_core::config::{CoschedConfig, CoupledConfig, Scheme, SchemeCombo};
-    pub use cosched_core::driver::{CoupledSimulation, SimulationReport};
+    pub use cosched_core::driver::{CoupledSimulation, RunArtifacts, RunStats, SimulationReport};
     pub use cosched_metrics::summary::MachineSummary;
+    pub use cosched_obs::{
+        JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver, TraceEvent, TraceRecord,
+        VecSink,
+    };
     pub use cosched_sched::machine::MachineConfig;
     pub use cosched_sched::policy::PolicyKind;
     pub use cosched_sim::{SimDuration, SimTime};

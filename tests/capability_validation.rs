@@ -3,22 +3,36 @@
 //! start simultaneously, nothing deadlocks with the release enhancement on,
 //! and hold-hold deadlocks with it off.
 
-use coupled_cosched::cosched::{CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo};
+use coupled_cosched::cosched::{
+    CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo,
+};
 use coupled_cosched::prelude::*;
 use coupled_cosched::sim::{SimDuration, SimRng};
 use coupled_cosched::workload::{pairing, MachineModel, TraceGenerator};
 
 fn coupled_traces(seed: u64, util: f64, proportion: f64) -> [Trace; 2] {
     let rng = SimRng::seed_from_u64(seed);
-    let mut a = TraceGenerator::new(MachineModel::eureka().with_runtime(1_500.0, 1.2), MachineId(0))
-        .span(SimDuration::from_days(2))
-        .target_utilization(util)
-        .generate(&mut rng.fork(1));
-    let mut b = TraceGenerator::new(MachineModel::eureka().with_runtime(1_500.0, 1.2), MachineId(1))
-        .span(SimDuration::from_days(2))
-        .target_utilization(util)
-        .generate(&mut rng.fork(2));
-    pairing::pair_exact_proportion(&mut a, &mut b, proportion, SimDuration::from_mins(2), &mut rng.fork(3));
+    let mut a = TraceGenerator::new(
+        MachineModel::eureka().with_runtime(1_500.0, 1.2),
+        MachineId(0),
+    )
+    .span(SimDuration::from_days(2))
+    .target_utilization(util)
+    .generate(&mut rng.fork(1));
+    let mut b = TraceGenerator::new(
+        MachineModel::eureka().with_runtime(1_500.0, 1.2),
+        MachineId(1),
+    )
+    .span(SimDuration::from_days(2))
+    .target_utilization(util)
+    .generate(&mut rng.fork(2));
+    pairing::pair_exact_proportion(
+        &mut a,
+        &mut b,
+        proportion,
+        SimDuration::from_mins(2),
+        &mut rng.fork(3),
+    );
     [a, b]
 }
 
@@ -47,9 +61,18 @@ fn all_combos_all_loads_synchronize_without_deadlock() {
             let pairs = traces[0].paired_count();
             assert!(pairs > 3, "workload must contain pairs (got {pairs})");
             let report = CoupledSimulation::new(config(combo), traces).run();
-            assert!(!report.deadlocked, "{} deadlocked at util {util}", combo.label());
+            assert!(
+                !report.deadlocked,
+                "{} deadlocked at util {util}",
+                combo.label()
+            );
             assert!(!report.aborted, "{} aborted at util {util}", combo.label());
-            assert_eq!(report.unfinished, [0, 0], "{} at util {util}", combo.label());
+            assert_eq!(
+                report.unfinished,
+                [0, 0],
+                "{} at util {util}",
+                combo.label()
+            );
             assert_eq!(
                 report.pair_offsets.len(),
                 pairs,
@@ -70,7 +93,8 @@ fn all_combos_all_loads_synchronize_without_deadlock() {
 fn all_combos_all_proportions_synchronize() {
     for combo in SchemeCombo::ALL {
         for (seed, prop) in [(4, 0.05), (5, 0.20), (6, 0.33)] {
-            let report = CoupledSimulation::new(config(combo), coupled_traces(seed, 0.5, prop)).run();
+            let report =
+                CoupledSimulation::new(config(combo), coupled_traces(seed, 0.5, prop)).run();
             assert!(!report.deadlocked, "{} at prop {prop}", combo.label());
             assert!(
                 report.all_pairs_synchronized(),
@@ -96,7 +120,10 @@ fn hold_hold_deadlocks_without_breaker_and_not_with_it() {
     assert!(report.unfinished[0] + report.unfinished[1] > 0);
 
     let report = CoupledSimulation::new(config(SchemeCombo::HH), coupled_traces(7, 0.6, 0.5)).run();
-    assert!(!report.deadlocked, "release enhancement must break the deadlock");
+    assert!(
+        !report.deadlocked,
+        "release enhancement must break the deadlock"
+    );
     assert_eq!(report.unfinished, [0, 0]);
     assert!(report.forced_releases > 0);
     assert!(report.all_pairs_synchronized());
@@ -123,7 +150,11 @@ fn enhancements_preserve_the_sync_guarantee() {
     cfg.cosched[1] = CoschedConfig::paper(Scheme::Yield).with_max_yields(Some(5));
     let report = CoupledSimulation::new(cfg, coupled_traces(9, 0.5, 0.25)).run();
     assert!(!report.deadlocked);
-    assert!(report.all_pairs_synchronized(), "max offset {}", report.max_pair_offset());
+    assert!(
+        report.all_pairs_synchronized(),
+        "max offset {}",
+        report.max_pair_offset()
+    );
 }
 
 #[test]
@@ -141,8 +172,11 @@ fn intrepid_eureka_scale_capability() {
         .generate(&mut rng.fork(1));
     pairing::pair_by_window(&mut intrepid, &mut eureka, SimDuration::from_mins(2));
     for combo in SchemeCombo::ALL {
-        let report =
-            CoupledSimulation::new(CoupledConfig::anl(combo), [intrepid.clone(), eureka.clone()]).run();
+        let report = CoupledSimulation::new(
+            CoupledConfig::anl(combo),
+            [intrepid.clone(), eureka.clone()],
+        )
+        .run();
         assert!(!report.deadlocked, "{}", combo.label());
         assert!(
             report.all_pairs_synchronized(),

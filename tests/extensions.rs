@@ -65,7 +65,11 @@ fn nway_randomized_groups_synchronize_across_four_machines() {
             .collect(),
         cosched: (0..n)
             .map(|m| {
-                CoschedConfig::paper(if m % 2 == 0 { Scheme::Hold } else { Scheme::Yield })
+                CoschedConfig::paper(if m % 2 == 0 {
+                    Scheme::Hold
+                } else {
+                    Scheme::Yield
+                })
             })
             .collect(),
         max_events: 2_000_000,
@@ -165,7 +169,13 @@ fn reservation_baseline_synchronizes_but_fragments() {
         .span(SimDuration::from_days(1))
         .target_utilization(0.4)
         .generate(&mut rng.fork(1));
-    pairing::pair_exact_proportion(&mut a, &mut b, 0.15, SimDuration::from_mins(2), &mut rng.fork(2));
+    pairing::pair_exact_proportion(
+        &mut a,
+        &mut b,
+        0.15,
+        SimDuration::from_mins(2),
+        &mut rng.fork(2),
+    );
 
     let resv = ReservationSimulation::new(["A", "B"], [100, 100], [a.clone(), b.clone()]).run();
     assert!(resv.all_pairs_synchronized());

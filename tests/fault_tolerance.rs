@@ -31,7 +31,13 @@ fn paired_workload(seed: u64) -> [Trace; 2] {
         .span(SimDuration::from_days(1))
         .target_utilization(0.5)
         .generate(&mut rng.fork(1));
-    pairing::pair_exact_proportion(&mut a, &mut b, 0.2, SimDuration::from_mins(2), &mut rng.fork(2));
+    pairing::pair_exact_proportion(
+        &mut a,
+        &mut b,
+        0.2,
+        SimDuration::from_mins(2),
+        &mut rng.fork(2),
+    );
     [a, b]
 }
 
@@ -66,7 +72,10 @@ fn both_remotes_down_degrades_to_independent_scheduling() {
     assert!(!report.deadlocked);
     assert_eq!(report.records[0].len(), n0);
     assert_eq!(report.records[1].len(), n1);
-    assert_eq!(report.summaries[0].total_holds + report.summaries[1].total_holds, 0);
+    assert_eq!(
+        report.summaries[0].total_holds + report.summaries[1].total_holds,
+        0
+    );
     assert_eq!(report.summaries[0].lost_node_hours, 0.0);
 }
 
@@ -97,6 +106,38 @@ fn unknown_mate_status_starts_job_normally() {
 }
 
 #[test]
+fn status_rpc_timeout_maps_to_unknown_and_starts_normally() {
+    // Algorithm 1 line 25: a `get_mate_status` transport timeout is treated
+    // as status Unknown and the local job starts normally. The new RPC
+    // timeout counters must record the failures.
+    let traces = paired_workload(5);
+    let n0 = traces[0].len();
+    let mut sim = CoupledSimulation::new(small_config(SchemeCombo::HH), traces);
+    sim.inject_status_timeout(1, true);
+    let report = sim.run();
+    assert!(!report.deadlocked);
+    assert_eq!(
+        report.records[0].len(),
+        n0,
+        "machine-0 jobs must all finish"
+    );
+    assert_eq!(
+        report.summaries[0].total_holds, 0,
+        "a timed-out status probe must not cause machine 0 to hold"
+    );
+    assert!(report.stats.rpc_timeouts > 0, "timeouts must be counted");
+    assert_eq!(
+        report.metrics.counter("rpc.timeouts"),
+        report.stats.rpc_timeouts,
+        "metrics registry must agree with the run counters"
+    );
+    assert!(
+        report.stats.rpc_calls > report.stats.rpc_timeouts,
+        "non-status RPCs still succeed"
+    );
+}
+
+#[test]
 fn pair_with_missing_mate_submission_does_not_hang() {
     // The mate is registered (registry knows the pair) but never submitted:
     // the local job holds/yields and is eventually released; the run must
@@ -117,8 +158,14 @@ fn pair_with_missing_mate_submission_does_not_hang() {
     // everything else completed.
     let mut a1 = mk(0, 1, 0);
     let mut b7 = mk(1, 7, 3 * 86_400);
-    a1.mate = Some(MateRef { machine: MachineId(1), job: JobId(7) });
-    b7.mate = Some(MateRef { machine: MachineId(0), job: JobId(1) });
+    a1.mate = Some(MateRef {
+        machine: MachineId(1),
+        job: JobId(7),
+    });
+    b7.mate = Some(MateRef {
+        machine: MachineId(0),
+        job: JobId(1),
+    });
     let traces = [
         Trace::from_jobs(MachineId(0), vec![a1, mk(0, 2, 60)]),
         Trace::from_jobs(MachineId(1), vec![mk(1, 1, 0), b7]),
@@ -147,5 +194,8 @@ fn recovery_after_remote_returns() {
     assert!(!report.deadlocked);
     // All pairs except possibly the poisoned one synchronized.
     let desynced = report.pair_offsets.iter().filter(|d| !d.is_zero()).count();
-    assert!(desynced <= 1, "at most the poisoned pair may desync, got {desynced}");
+    assert!(
+        desynced <= 1,
+        "at most the poisoned pair may desync, got {desynced}"
+    );
 }

@@ -57,7 +57,15 @@ fn rig(scheme_a: Scheme, scheme_b: Scheme, registry: MateRegistry) -> Rig {
     let srv_b = tcp::serve("127.0.0.1:0".parse().unwrap(), b.service(now(&clock))).unwrap();
     let a_to_b = TcpTransport::connect(srv_b.addr(), Duration::from_secs(2)).unwrap();
     let b_to_a = TcpTransport::connect(srv_a.addr(), Duration::from_secs(2)).unwrap();
-    Rig { clock, a, b, a_to_b, b_to_a, srv_a, srv_b }
+    Rig {
+        clock,
+        a,
+        b,
+        a_to_b,
+        b_to_a,
+        srv_a,
+        srv_b,
+    }
 }
 
 fn one_pair_registry() -> MateRegistry {
@@ -76,7 +84,11 @@ fn hold_yield_pair_synchronizes_over_tcp() {
     r.b.pump(t0, &mut r.b_to_a);
     r.a.submit(job(0, 1, 0, 20, 60), t0);
     r.a.pump(t0, &mut r.a_to_b);
-    assert_eq!(r.a.held(), vec![JobId(1)], "A holds while the mate is unsubmitted");
+    assert_eq!(
+        r.a.held(),
+        vec![JobId(1)],
+        "A holds while the mate is unsubmitted"
+    );
 
     // Mate arrives on B but cannot start (filler).
     r.clock.store(30, Ordering::SeqCst);
@@ -90,7 +102,10 @@ fn hold_yield_pair_synchronizes_over_tcp() {
     let t120 = SimTime::from_secs(120);
     assert_eq!(r.b.complete_due(t120), 1);
     r.b.pump(t120, &mut r.b_to_a);
-    assert!(r.a.held().is_empty(), "hold resolved by the mate's StartJob");
+    assert!(
+        r.a.held().is_empty(),
+        "hold resolved by the mate's StartJob"
+    );
 
     r.clock.store(1_000, Ordering::SeqCst);
     let t1000 = SimTime::from_secs(1_000);
@@ -98,8 +113,18 @@ fn hold_yield_pair_synchronizes_over_tcp() {
     r.b.complete_due(t1000);
     assert!(r.a.drained() && r.b.drained());
 
-    let sa = r.a.records().iter().find(|x| x.id == JobId(1)).unwrap().start;
-    let sb = r.b.records().iter().find(|x| x.id == JobId(1)).unwrap().start;
+    let sa =
+        r.a.records()
+            .iter()
+            .find(|x| x.id == JobId(1))
+            .unwrap()
+            .start;
+    let sb =
+        r.b.records()
+            .iter()
+            .find(|x| x.id == JobId(1))
+            .unwrap()
+            .start;
     assert_eq!(sa, sb, "pair must start simultaneously over TCP");
     assert_eq!(sa, t120);
 
@@ -135,8 +160,18 @@ fn yield_yield_pair_synchronizes_over_tcp() {
     r.a.complete_due(t500);
     r.b.complete_due(t500);
     assert!(r.a.drained() && r.b.drained());
-    let sa = r.a.records().iter().find(|x| x.id == JobId(1)).unwrap().start;
-    let sb = r.b.records().iter().find(|x| x.id == JobId(1)).unwrap().start;
+    let sa =
+        r.a.records()
+            .iter()
+            .find(|x| x.id == JobId(1))
+            .unwrap()
+            .start;
+    let sb =
+        r.b.records()
+            .iter()
+            .find(|x| x.id == JobId(1))
+            .unwrap()
+            .start;
     assert_eq!(sa, sb);
 
     r.srv_a.shutdown();
@@ -149,11 +184,18 @@ fn protocol_queries_reflect_domain_state() {
     let mut probe = TcpTransport::connect(r.srv_a.addr(), Duration::from_secs(2)).unwrap();
 
     // Unknown job: unsubmitted.
-    let resp = probe.call(&Request::GetMateStatus { job: JobId(1) }).unwrap();
-    assert_eq!(resp, Response::MateStatus(coupled_cosched::proto::MateStatus::Unsubmitted));
+    let resp = probe
+        .call(&Request::GetMateStatus { job: JobId(1) })
+        .unwrap();
+    assert_eq!(
+        resp,
+        Response::MateStatus(coupled_cosched::proto::MateStatus::Unsubmitted)
+    );
 
     // Mate lookup through the registry.
-    let resp = probe.call(&Request::GetMateJob { for_job: JobId(1) }).unwrap();
+    let resp = probe
+        .call(&Request::GetMateJob { for_job: JobId(1) })
+        .unwrap();
     match resp {
         Response::MateJob(Some(m)) => {
             assert_eq!(m.machine, MachineId(0));
@@ -165,8 +207,13 @@ fn protocol_queries_reflect_domain_state() {
     // Submit and query again: queuing… after a pump with no transport
     // trouble it becomes held (scheme hold, mate unsubmitted on B).
     r.a.submit(job(0, 1, 0, 20, 60), SimTime::ZERO);
-    let resp = probe.call(&Request::GetMateStatus { job: JobId(1) }).unwrap();
-    assert_eq!(resp, Response::MateStatus(coupled_cosched::proto::MateStatus::Queuing));
+    let resp = probe
+        .call(&Request::GetMateStatus { job: JobId(1) })
+        .unwrap();
+    assert_eq!(
+        resp,
+        Response::MateStatus(coupled_cosched::proto::MateStatus::Queuing)
+    );
 
     // Ping for liveness.
     assert_eq!(probe.call(&Request::Ping).unwrap(), Response::Pong);

@@ -54,7 +54,11 @@ fn exercise_allocator(a: &mut dyn NodeAllocator, ops: &[AllocOp]) {
     for h in live {
         a.release(h);
     }
-    assert_eq!(a.free_nodes(), capacity, "releases must restore all capacity");
+    assert_eq!(
+        a.free_nodes(),
+        capacity,
+        "releases must restore all capacity"
+    );
 }
 
 proptest! {

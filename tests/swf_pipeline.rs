@@ -2,7 +2,9 @@
 //! pair → simulate, verifying the external format is lossless for the
 //! fields the simulator consumes.
 
-use coupled_cosched::cosched::{CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo};
+use coupled_cosched::cosched::{
+    CoschedConfig, CoupledConfig, CoupledSimulation, Scheme, SchemeCombo,
+};
 use coupled_cosched::prelude::*;
 use coupled_cosched::sim::{SimDuration, SimRng};
 use coupled_cosched::workload::{pairing, swf, MachineModel, TraceGenerator};
@@ -56,16 +58,19 @@ fn simulation_from_swf_matches_simulation_from_memory() {
     };
     let r1 = CoupledSimulation::new(config(), [a1, b1]).run();
     let r2 = CoupledSimulation::new(config(), [a2, b2]).run();
-    assert_eq!(r1.records, r2.records, "SWF roundtrip must not change outcomes");
+    assert_eq!(
+        r1.records, r2.records,
+        "SWF roundtrip must not change outcomes"
+    );
     assert_eq!(r1.pair_offsets, r2.pair_offsets);
 }
 
 #[test]
 fn malformed_swf_is_rejected_not_mangled() {
     let cases = [
-        "1 0 5\n",                                   // too few fields
-        "x 0 -1 10 4 -1 -1 4 10 -1 1\n",             // non-numeric id
-        "1 -9 -1 10 4 -1 -1 4 10 -1 1\n",            // negative submit
+        "1 0 5\n",                        // too few fields
+        "x 0 -1 10 4 -1 -1 4 10 -1 1\n",  // non-numeric id
+        "1 -9 -1 10 4 -1 -1 4 10 -1 1\n", // negative submit
     ];
     for case in cases {
         assert!(
