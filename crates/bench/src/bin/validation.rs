@@ -4,7 +4,8 @@
 //! hold-hold *does* deadlock with the enhancement off.
 use cosched_bench::{figures, harness, Scale};
 use cosched_core::{CoupledSimulation, SchemeCombo};
-use cosched_obs::{RingSink, SinkObserver};
+use cosched_obs::{SinkObserver, VecSink};
+use cosched_trace::{AttributionReport, LifecycleSet};
 
 fn main() {
     let scale = Scale::from_env();
@@ -35,11 +36,11 @@ fn main() {
         "HH without release enhancement: deadlocked = {}, unfinished jobs = {:?} (paper: \"deadlocks are highly likely … when the simulation time span [is] more than 10 days\")",
         report.deadlocked, report.unfinished
     );
-    // Same run with the release enhancement on, traced through a bounded
-    // in-memory sink to exercise the observability layer at benchmark scale
-    // (the report must be identical to an untraced run).
+    // Same run with the release enhancement on, fully traced so the trace
+    // analysis layer can attribute wait time afterwards (the report must be
+    // identical to an untraced run).
     let cfg = cosched_core::CoupledConfig::anl(SchemeCombo::HH);
-    let observer = SinkObserver::new(RingSink::new(65_536));
+    let observer = SinkObserver::new(VecSink::default());
     let arts = CoupledSimulation::with_observer(
         cfg,
         harness::anl_load_traces(1, scale.days, 0.50),
@@ -52,13 +53,17 @@ fn main() {
         report.deadlocked, report.unfinished
     );
     println!();
+    let records = &arts.observer.sink().records;
     println!(
-        "observability: {} trace records ({} retained), {} rpc calls, {} release sweeps",
-        arts.observer.sink().total(),
-        arts.observer.sink().len(),
+        "observability: {} trace records, {} rpc calls, {} release sweeps",
+        records.len(),
         report.stats.rpc_calls,
         report.stats.release_sweeps,
     );
+    match LifecycleSet::from_records(records) {
+        Ok(set) => print!("\n{}", AttributionReport::from_lifecycles(&set)),
+        Err(e) => eprintln!("trace reconstruction failed: {e}"),
+    }
     println!("wall-clock profile:");
     for ph in &arts.profile {
         println!(

@@ -5,12 +5,16 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A parsed invocation: the subcommand, its `--key value` options, and any
-/// boolean `--flag` switches.
+/// A parsed invocation: the command, an optional subcommand, its
+/// `--key value` options, and any boolean `--flag` switches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parsed {
     /// First positional token.
     pub command: String,
+    /// Second positional token, when present (`analyze attribute …`).
+    /// Commands that take no subcommand reject it via
+    /// [`Parsed::no_subcommand`].
+    pub subcommand: Option<String>,
     /// `--key value` pairs, keys without the `--` prefix.
     pub options: BTreeMap<String, String>,
     /// Boolean flags present on the command line, without the `--` prefix.
@@ -31,11 +35,17 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
 /// that takes no value (e.g. `--metrics`). All other `--key` tokens require
 /// a value, exactly as in [`parse`].
 pub fn parse_with_flags(args: &[String], flag_keys: &[&str]) -> Result<Parsed, String> {
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     let command = iter
         .next()
         .ok_or_else(|| "missing command (try: generate | pair | simulate)".to_string())?
         .clone();
+    // One optional bare token directly after the command is its subcommand
+    // (`analyze attribute --trace t.jsonl`); later bare tokens stay errors.
+    let subcommand = match iter.peek() {
+        Some(tok) if !tok.starts_with("--") => Some(iter.next().expect("peeked").clone()),
+        _ => None,
+    };
     let mut options = BTreeMap::new();
     let mut flags = BTreeSet::new();
     while let Some(token) = iter.next() {
@@ -57,6 +67,7 @@ pub fn parse_with_flags(args: &[String], flag_keys: &[&str]) -> Result<Parsed, S
     }
     Ok(Parsed {
         command,
+        subcommand,
         options,
         flags,
     })
@@ -89,6 +100,14 @@ impl Parsed {
     /// Whether a boolean `--flag` was present.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.contains(key)
+    }
+
+    /// Reject a stray subcommand on commands that take none.
+    pub fn no_subcommand(&self, command: &str) -> Result<(), String> {
+        match &self.subcommand {
+            None => Ok(()),
+            Some(sub) => Err(format!("{command} takes no subcommand, got {sub:?}")),
+        }
     }
 
     /// Reject options or flags outside the allowed set (typo guard).
@@ -138,8 +157,20 @@ mod tests {
     }
 
     #[test]
-    fn positional_after_command_errors() {
-        let err = parse(&argv("simulate foo")).unwrap_err();
+    fn bare_token_after_command_is_the_subcommand() {
+        let p = parse(&argv("analyze attribute --trace t.jsonl")).unwrap();
+        assert_eq!(p.command, "analyze");
+        assert_eq!(p.subcommand.as_deref(), Some("attribute"));
+        assert_eq!(p.require("trace").unwrap(), "t.jsonl");
+        assert!(p.no_subcommand("analyze").is_err());
+        let p = parse(&argv("simulate --a x.swf")).unwrap();
+        assert_eq!(p.subcommand, None);
+        assert!(p.no_subcommand("simulate").is_ok());
+    }
+
+    #[test]
+    fn positional_after_subcommand_errors() {
+        let err = parse(&argv("analyze attribute extra")).unwrap_err();
         assert!(err.contains("expected --option"), "{err}");
     }
 

@@ -6,7 +6,7 @@ use cosched_core::{
 };
 use cosched_metrics::table::{num, pct, Table};
 use cosched_obs::metrics::HistogramSnapshot;
-use cosched_obs::{JsonlSink, MetricsSnapshot, PhaseSnapshot, SinkObserver};
+use cosched_obs::{read_trace_file, JsonlSink, MetricsSnapshot, PhaseSnapshot, SinkObserver};
 use cosched_sched::MachineConfig;
 use cosched_sim::{SimDuration, SimRng};
 use cosched_workload::{
@@ -56,9 +56,16 @@ USAGE:
   cosched simulate --a <a.swf> --b <b.swf> --pairs <pairs.json>
                    [--combo <HH|HY|YH|YY|off>] [--capacity-a N] [--capacity-b N]
                    [--release-mins M] [--json <report.json>]
-                   [--trace-out <trace.jsonl>] [--metrics]";
+                   [--trace-out <trace.jsonl>] [--metrics]
+
+Trace analysis (over JSONL traces from `simulate --trace-out`):
+  cosched analyze timeline  --trace <t.jsonl> [--width N] [--rows N] [--capacity N]
+  cosched analyze attribute --trace <t.jsonl>
+  cosched analyze diff      --a <t1.jsonl> --b <t2.jsonl>
+  cosched analyze export    --report <report.json> [--out <metrics.prom>]";
 
 fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.no_subcommand("generate")?;
     p.allow_only(&["machine", "out", "days", "util", "seed"])?;
     let model = match p.require("machine")? {
         "intrepid" => MachineModel::intrepid(),
@@ -91,6 +98,102 @@ fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn cmd_analyze(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    match p.subcommand.as_deref() {
+        None => cmd_analyze_swf(p, out),
+        Some("timeline") => cmd_analyze_timeline(p, out),
+        Some("attribute") => cmd_analyze_attribute(p, out),
+        Some("diff") => cmd_analyze_diff(p, out),
+        Some("export") => cmd_analyze_export(p, out),
+        Some(other) => Err(format!(
+            "unknown analyze subcommand {other:?} (timeline|attribute|diff|export, \
+             or none for SWF workload stats)"
+        )),
+    }
+}
+
+/// Parse a JSONL event trace and reconstruct per-job lifecycles. Parse
+/// failures carry `path:line`; reconstruction failures carry the record
+/// index and sim time.
+fn load_lifecycles(path: &str) -> Result<cosched_trace::LifecycleSet, String> {
+    let records = read_trace_file(path)?;
+    cosched_trace::LifecycleSet::from_records(&records)
+        .map_err(|e| format!("{path}: inconsistent trace: {e}"))
+}
+
+fn cmd_analyze_timeline(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["trace", "width", "rows", "capacity"])?;
+    let path = p.require("trace")?;
+    let width: usize = p.get_or("width", 100)?;
+    let rows: usize = p.get_or("rows", 20)?;
+    let capacity: Option<u64> = match p.get("capacity") {
+        Some(raw) => Some(raw.parse().map_err(|_| format!("bad --capacity {raw:?}"))?),
+        None => None,
+    };
+    let set = load_lifecycles(path)?;
+    let _ = writeln!(
+        out,
+        "timeline of {path} ({} records, {} jobs, horizon {}s)",
+        set.records,
+        set.jobs.len(),
+        set.horizon
+    );
+    let _ = write!(
+        out,
+        "{}",
+        cosched_trace::render_utilization(&set, width, capacity)
+    );
+    let _ = write!(out, "{}", cosched_trace::render_gantt(&set, width, rows));
+    Ok(())
+}
+
+fn cmd_analyze_attribute(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["trace"])?;
+    let path = p.require("trace")?;
+    let set = load_lifecycles(path)?;
+    let report = cosched_trace::AttributionReport::from_lifecycles(&set);
+    let _ = write!(out, "{report}");
+    Ok(())
+}
+
+fn cmd_analyze_diff(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["a", "b"])?;
+    let a = load_lifecycles(p.require("a")?)?;
+    let b = load_lifecycles(p.require("b")?)?;
+    let report = cosched_trace::DiffReport::compare(&a, &b);
+    let _ = write!(out, "{report}");
+    Ok(())
+}
+
+fn cmd_analyze_export(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["report", "out"])?;
+    let path = p.require("report")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("bad report {path}: {e}"))?;
+    let metrics = value
+        .get("metrics")
+        .cloned()
+        .ok_or_else(|| format!("{path} has no \"metrics\" section (written by simulate --json)"))?;
+    let snapshot: MetricsSnapshot = serde_json::from_value(metrics)
+        .map_err(|e| format!("{path}: metrics section does not parse: {e}"))?;
+    let text = cosched_trace::render_prometheus(&snapshot);
+    match p.get("out") {
+        Some(dest) => {
+            std::fs::write(dest, &text).map_err(|e| format!("cannot write {dest}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "wrote {} bytes of Prometheus text to {dest}",
+                text.len()
+            );
+        }
+        None => {
+            let _ = write!(out, "{text}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze_swf(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.allow_only(&["trace", "capacity"])?;
     let path = p.require("trace")?;
     let trace = load_trace(path, MachineId(0))?;
@@ -127,6 +230,7 @@ fn load_trace(path: &str, machine: MachineId) -> Result<Trace, String> {
 }
 
 fn cmd_pair(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.no_subcommand("pair")?;
     p.allow_only(&["a", "b", "out", "window-secs", "proportion", "seed"])?;
     let mut a = load_trace(p.require("a")?, MachineId(0))?;
     let mut b = load_trace(p.require("b")?, MachineId(1))?;
@@ -199,6 +303,7 @@ struct JsonReport {
 }
 
 fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.no_subcommand("simulate")?;
     p.allow_only(&[
         "a",
         "b",
@@ -519,6 +624,105 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("deadlocked: false"), "{out}");
+    }
+
+    /// Build a full observability pipeline in tmp files and return
+    /// `(trace1, trace2, report_json)` — two same-seed HY traces.
+    fn pipeline_artifacts(tag: &str) -> (String, String, String) {
+        let a = tmp(&format!("{tag}_a.swf"));
+        let b = tmp(&format!("{tag}_b.swf"));
+        let pairs = tmp(&format!("{tag}_pairs.json"));
+        let trace1 = tmp(&format!("{tag}_t1.jsonl"));
+        let trace2 = tmp(&format!("{tag}_t2.jsonl"));
+        let json = tmp(&format!("{tag}_report.json"));
+        run(&format!(
+            "generate --machine eureka --out {a} --days 2 --util 0.5 --seed 3"
+        ))
+        .unwrap();
+        run(&format!(
+            "generate --machine eureka --out {b} --days 2 --util 0.4 --seed 4"
+        ))
+        .unwrap();
+        run(&format!(
+            "pair --a {a} --b {b} --out {pairs} --proportion 0.2 --seed 5"
+        ))
+        .unwrap();
+        for trace in [&trace1, &trace2] {
+            run(&format!(
+                "simulate --a {a} --b {b} --pairs {pairs} --combo HY --capacity-a 100 \
+                 --capacity-b 100 --trace-out {trace} --json {json}"
+            ))
+            .unwrap();
+        }
+        (trace1, trace2, json)
+    }
+
+    #[test]
+    fn analyze_attribute_decomposes_wait() {
+        let (trace, _, _) = pipeline_artifacts("attr");
+        let out = run(&format!("analyze attribute --trace {trace}")).unwrap();
+        assert!(out.contains("wait-time attribution"), "{out}");
+        // HY: machine 0 is the hold side, machine 1 the yield side.
+        assert!(out.contains("scheme combo HY"), "{out}");
+    }
+
+    #[test]
+    fn analyze_diff_same_seed_traces_is_identical() {
+        let (trace1, trace2, _) = pipeline_artifacts("diffsame");
+        let out = run(&format!("analyze diff --a {trace1} --b {trace2}")).unwrap();
+        assert!(out.contains("identical per job"), "{out}");
+    }
+
+    #[test]
+    fn analyze_timeline_renders_strips() {
+        let (trace, _, _) = pipeline_artifacts("tline");
+        let out = run(&format!(
+            "analyze timeline --trace {trace} --width 60 --rows 5 --capacity 100"
+        ))
+        .unwrap();
+        assert!(out.contains("timeline of"), "{out}");
+        assert!(out.contains("run  |"), "{out}");
+        assert!(out.contains("machine 0"), "{out}");
+        assert!(out.contains("# running"), "{out}");
+    }
+
+    #[test]
+    fn analyze_export_writes_prometheus_text() {
+        let (_, _, json) = pipeline_artifacts("prom");
+        let out = run(&format!("analyze export --report {json}")).unwrap();
+        assert!(out.contains("# TYPE cosched_holds counter"), "{out}");
+        assert!(out.contains("# TYPE job_wait_secs histogram"), "{out}");
+        assert!(out.contains("job_wait_secs_bucket{le=\"+Inf\"}"), "{out}");
+        let dest = tmp("prom_out.prom");
+        let out = run(&format!("analyze export --report {json} --out {dest}")).unwrap();
+        assert!(out.contains("Prometheus text"), "{out}");
+        assert!(std::fs::read_to_string(&dest)
+            .unwrap()
+            .contains("cosched_holds"));
+    }
+
+    #[test]
+    fn analyze_reports_malformed_jsonl_line() {
+        let (trace, _, _) = pipeline_artifacts("badline");
+        // Corrupt line 3 of the trace.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 3);
+        lines[2] = "{this is not json";
+        let bad = tmp("badline_corrupt.jsonl");
+        std::fs::write(&bad, lines.join("\n")).unwrap();
+        let err = run(&format!("analyze attribute --trace {bad}")).unwrap_err();
+        assert!(err.contains(&bad), "error names the file: {err}");
+        assert!(err.contains("line 3"), "error pins the line: {err}");
+        assert!(err.contains("invalid trace record"), "{err}");
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_subcommand_and_stray_subcommands() {
+        let err = run("analyze frobnicate --trace x.jsonl").unwrap_err();
+        assert!(err.contains("unknown analyze subcommand"), "{err}");
+        let err = run("simulate extra --a x.swf").unwrap_err();
+        assert!(err.contains("takes no subcommand"), "{err}");
     }
 
     #[test]

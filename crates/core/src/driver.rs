@@ -374,10 +374,16 @@ impl<O: Observer> CoupledSimulation<O> {
         match event {
             Event::Arrival { m, idx } => {
                 let job = self.jobs[m][idx].clone();
+                self.emit(m, || TraceEvent::JobSubmitted {
+                    job: job.id.0,
+                    size: job.size,
+                    paired: job.mate.is_some(),
+                });
                 self.machines[m].submit(job, self.now);
                 self.iterate(m);
             }
             Event::JobEnd { m, job } => {
+                self.emit(m, || TraceEvent::JobEnded { job: job.0 });
                 self.machines[m].finish(job, self.now);
                 self.iterate(m);
             }
@@ -624,6 +630,12 @@ impl<O: Observer> CoupledSimulation<O> {
                     Some(end) => {
                         self.queue.push(end, Event::JobEnd { m, job: *job });
                         self.direct_pairs.insert((m, *job));
+                        // Lifecycle event for the remote-started mate: its
+                        // own machine never passes it through `iterate`.
+                        self.emit(m, || TraceEvent::CoschedStart {
+                            job: job.0,
+                            with_mate: true,
+                        });
                         Response::Started(true)
                     }
                     None => Response::Started(false),
@@ -639,6 +651,10 @@ impl<O: Observer> CoupledSimulation<O> {
                     Some(end) => {
                         self.queue.push(end, Event::JobEnd { m, job: *job });
                         self.anchored_pairs.insert((m, *job));
+                        self.emit(m, || TraceEvent::CoschedStart {
+                            job: job.0,
+                            with_mate: true,
+                        });
                         Response::Started(true)
                     }
                     None => Response::Started(false),

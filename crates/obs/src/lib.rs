@@ -10,7 +10,8 @@
 //!   zero-sized type whose `active()` is a compile-time constant `false`,
 //!   so event construction is skipped entirely (static dispatch, no
 //!   branches survive inlining). Sinks include JSONL writers and an
-//!   in-memory ring buffer.
+//!   in-memory ring buffer; written traces read back through
+//!   [`reader::TraceReader`], which pins parse failures to their line.
 //! * **Metrics** ([`metrics`]) — a tiny registry of named counters and
 //!   log₂-bucketed histograms with snapshot types that serialize into
 //!   reports. Deterministic inputs only (sim time, counts): identical
@@ -27,6 +28,7 @@
 pub mod metrics;
 pub mod observe;
 pub mod profile;
+pub mod reader;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
@@ -34,4 +36,7 @@ pub use observe::{
     JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver, TeeObserver, VecSink,
 };
 pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
+pub use reader::{
+    read_trace_file, read_trace_str, write_trace_string, TraceReadError, TraceReader,
+};
 pub use trace::{TraceEvent, TraceRecord};

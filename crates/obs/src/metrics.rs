@@ -160,6 +160,11 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Snapshot the registry. Metric names are listed in sorted (ascending
+    /// byte-wise) order — a guarantee, not an accident of storage: text
+    /// exposition formats and golden tests rely on two registries with the
+    /// same contents producing identical snapshots regardless of the order
+    /// metrics were first touched in.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
@@ -285,6 +290,107 @@ mod tests {
         let text = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_order_is_sorted_regardless_of_touch_order() {
+        let mut fwd = MetricsRegistry::new();
+        for name in ["alpha", "mid", "zeta"] {
+            fwd.inc(name);
+            fwd.observe("hist.a", 1);
+            fwd.observe("hist.z", 1);
+        }
+        let mut rev = MetricsRegistry::new();
+        for name in ["zeta", "mid", "alpha"] {
+            rev.inc(name);
+        }
+        rev.observe("hist.z", 1);
+        rev.observe("hist.z", 1);
+        rev.observe("hist.z", 1);
+        rev.observe("hist.a", 1);
+        rev.observe("hist.a", 1);
+        rev.observe("hist.a", 1);
+        let (s1, s2) = (fwd.snapshot(), rev.snapshot());
+        let names: Vec<&str> = s1.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "counters must come out sorted");
+        assert_eq!(s1, s2, "touch order must not leak into the snapshot");
+        let hist_names: Vec<&str> = s1.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hist_names, vec!["hist.a", "hist.z"]);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+        let snap = h.snapshot("empty");
+        assert_eq!(snap.count, 0);
+        assert_eq!((snap.min, snap.max), (0, 0));
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+        assert_eq!(h.mean(), 42.0);
+        // 42 needs 6 bits → bucket upper bound 63, for every quantile.
+        assert_eq!(h.quantile(0.0), Some(63));
+        assert_eq!(h.quantile(0.5), Some(63));
+        assert_eq!(h.quantile(1.0), Some(63));
+        let snap = h.snapshot("one");
+        assert_eq!(snap.buckets, vec![BucketCount { le: 63, count: 1 }]);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_first_and_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        // q=0 resolves to rank 1 (the first sample), q=1 to the last.
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // Out-of-range inputs clamp rather than panic.
+        assert_eq!(h.quantile(-3.0), Some(0));
+        assert_eq!(h.quantile(7.5), Some(1023));
+    }
+
+    #[test]
+    fn values_on_log2_bucket_boundaries() {
+        let mut h = Histogram::new();
+        // Exact powers of two sit in the bucket whose upper bound is
+        // 2^(k+1)-1; the value one below sits in the previous bucket.
+        for v in [1u64, 2, 3, 4, 7, 8, 1 << 62, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot("bounds");
+        let les: Vec<u64> = snap.buckets.iter().map(|b| b.le).collect();
+        assert_eq!(
+            les,
+            vec![1, 3, 7, 15, (1u64 << 63) - 1, u64::MAX],
+            "boundary values must land exactly one bucket apart"
+        );
+        // 2 and 3 share the le=3 bucket; 4 and 7 share le=7; 8 is alone.
+        assert_eq!(snap.buckets[1].count, 2);
+        assert_eq!(snap.buckets[2].count, 2);
+        assert_eq!(snap.buckets[3].count, 1);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(1));
     }
 
     #[test]

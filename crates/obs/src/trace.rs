@@ -23,8 +23,9 @@ pub const GLOBAL: usize = usize::MAX;
 
 /// Structured events emitted across the stack.
 ///
-/// Grouped by layer: `Engine*` (cosched-sim), `Sched*` (cosched-sched),
-/// `Cosched*` (cosched-core, Algorithm 1), `Rpc*`/`Frame*` (cosched-proto).
+/// Grouped by layer: `Engine*` (cosched-sim), `Job*` (lifecycle anchors
+/// emitted by the coupled driver), `Sched*` (cosched-sched), `Cosched*`
+/// (cosched-core, Algorithm 1), `Rpc*`/`Frame*` (cosched-proto).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     // ----- discrete-event engine ------------------------------------------
@@ -32,6 +33,14 @@ pub enum TraceEvent {
     EngineDispatch { seq: u64 },
     /// An event was cancelled before dispatch.
     EngineCancel { seq: u64 },
+
+    // ----- job lifecycle ---------------------------------------------------
+    /// A job arrived at its machine's queue (`paired` = it has a mate on
+    /// the other machine). Anchors lifecycle reconstruction: every other
+    /// per-job event refers back to this submission.
+    JobSubmitted { job: u64, size: u64, paired: bool },
+    /// A running job completed.
+    JobEnded { job: u64 },
 
     // ----- single-domain scheduler ----------------------------------------
     /// A scheduler iteration began (`queued`/`running` = queue depths).
@@ -137,6 +146,8 @@ impl TraceEvent {
         match self {
             TraceEvent::EngineDispatch { .. } => "engine-dispatch",
             TraceEvent::EngineCancel { .. } => "engine-cancel",
+            TraceEvent::JobSubmitted { .. } => "job-submitted",
+            TraceEvent::JobEnded { .. } => "job-ended",
             TraceEvent::SchedIterationStart { .. } => "sched-iteration-start",
             TraceEvent::SchedIterationEnd { .. } => "sched-iteration-end",
             TraceEvent::SchedPick { .. } => "sched-pick",

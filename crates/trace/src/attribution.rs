@@ -1,0 +1,446 @@
+//! Wait-time attribution: decompose each job's queue wait into local
+//! queueing vs. coscheduling-induced components.
+//!
+//! The paper's central trade-off (§V) is how much extra wait the hold and
+//! yield schemes inflict in exchange for synchronized pair starts. The
+//! trace makes that measurable per job: everything before the job first
+//! deferred to its mate (first hold or yield) is ordinary local queueing —
+//! it would have happened without coscheduling — and everything after is
+//! coscheduling wait, further split into time spent holding reserved
+//! resources versus re-queued time after yields or forced releases.
+
+use crate::lifecycle::{JobLifecycle, LifecycleSet};
+use cosched_metrics::table::Table;
+use std::fmt;
+
+/// The scheme a machine appears to have run, inferred from its events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeGuess {
+    /// At least one hold was placed.
+    Hold,
+    /// No holds, but at least one yield.
+    Yield,
+    /// Neither — coscheduling off, or no pair ever deferred.
+    Inactive,
+}
+
+impl SchemeGuess {
+    pub fn letter(self) -> &'static str {
+        match self {
+            SchemeGuess::Hold => "H",
+            SchemeGuess::Yield => "Y",
+            SchemeGuess::Inactive => "-",
+        }
+    }
+}
+
+/// One job's wait decomposition (started jobs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobAttribution {
+    pub machine: usize,
+    pub job: u64,
+    pub paired: bool,
+    /// submit → start.
+    pub total_wait_secs: u64,
+    /// submit → first deferral (or the whole wait when never deferred).
+    pub local_queue_secs: u64,
+    /// first deferral → start: wait the coscheduling protocol added.
+    pub cosched_wait_secs: u64,
+    /// Of the coscheduling wait, time spent holding reserved resources.
+    pub hold_secs: u64,
+    /// Yield give-backs taken.
+    pub yields: u32,
+    /// Holds force-released by the deadlock breaker.
+    pub forced_releases: u32,
+}
+
+impl JobAttribution {
+    fn from_lifecycle(lc: &JobLifecycle, horizon: u64) -> Option<Self> {
+        let start = lc.start?;
+        let total = start - lc.submit;
+        let ready = lc.first_ready().unwrap_or(start).min(start);
+        let cosched = start - ready;
+        Some(JobAttribution {
+            machine: lc.machine,
+            job: lc.job,
+            paired: lc.paired,
+            total_wait_secs: total,
+            local_queue_secs: total - cosched,
+            cosched_wait_secs: cosched,
+            hold_secs: lc.hold_secs(horizon).min(cosched),
+            yields: lc.yields.len() as u32,
+            forced_releases: lc.forced_releases,
+        })
+    }
+}
+
+/// Aggregated attribution for one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineAttribution {
+    pub machine: usize,
+    /// Scheme the machine appears to have run.
+    pub scheme: SchemeGuess,
+    /// Jobs submitted / started / still waiting at end of trace.
+    pub submitted: usize,
+    pub started: usize,
+    pub unstarted: usize,
+    pub paired_jobs: usize,
+    /// Sums over started jobs, in seconds.
+    pub total_wait_secs: u64,
+    pub local_queue_secs: u64,
+    pub cosched_wait_secs: u64,
+    pub hold_secs: u64,
+    /// Event counts.
+    pub yields: u64,
+    pub forced_releases: u64,
+    pub degradations: u64,
+    pub escalations: u64,
+    pub anchored_commits: u64,
+    pub direct_commits: u64,
+}
+
+impl MachineAttribution {
+    fn mean_mins(total_secs: u64, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            total_secs as f64 / n as f64 / 60.0
+        }
+    }
+
+    /// Mean total wait over started jobs, minutes.
+    pub fn mean_wait_mins(&self) -> f64 {
+        Self::mean_mins(self.total_wait_secs, self.started)
+    }
+
+    /// Mean coscheduling-induced wait over started jobs, minutes.
+    pub fn mean_cosched_wait_mins(&self) -> f64 {
+        Self::mean_mins(self.cosched_wait_secs, self.started)
+    }
+
+    /// Share of total wait attributable to coscheduling.
+    pub fn cosched_share(&self) -> f64 {
+        if self.total_wait_secs == 0 {
+            0.0
+        } else {
+            self.cosched_wait_secs as f64 / self.total_wait_secs as f64
+        }
+    }
+}
+
+/// The full attribution report: per-job rows plus per-machine aggregates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttributionReport {
+    pub per_job: Vec<JobAttribution>,
+    pub machines: Vec<MachineAttribution>,
+}
+
+impl AttributionReport {
+    /// Attribute every started job in `set`.
+    pub fn from_lifecycles(set: &LifecycleSet) -> Self {
+        let mut per_job = Vec::new();
+        let mut machines: Vec<MachineAttribution> = Vec::new();
+        for machine in set.machines() {
+            let mut agg = MachineAttribution {
+                machine,
+                scheme: SchemeGuess::Inactive,
+                submitted: 0,
+                started: 0,
+                unstarted: 0,
+                paired_jobs: 0,
+                total_wait_secs: 0,
+                local_queue_secs: 0,
+                cosched_wait_secs: 0,
+                hold_secs: 0,
+                yields: 0,
+                forced_releases: 0,
+                degradations: 0,
+                escalations: 0,
+                anchored_commits: 0,
+                direct_commits: 0,
+            };
+            let mut any_hold = false;
+            let mut any_yield = false;
+            for lc in set.machine_jobs(machine) {
+                agg.submitted += 1;
+                agg.paired_jobs += usize::from(lc.paired);
+                any_hold |= !lc.holds.is_empty() || lc.open_hold.is_some();
+                any_yield |= !lc.yields.is_empty();
+                agg.degradations += u64::from(lc.degradations);
+                agg.escalations += u64::from(lc.escalations);
+                if let Some(rv) = lc.rendezvous {
+                    // Counted on the committing side only; `rv.anchored`
+                    // tells which path the pair took.
+                    if rv.anchored {
+                        agg.anchored_commits += 1;
+                    } else {
+                        agg.direct_commits += 1;
+                    }
+                }
+                match JobAttribution::from_lifecycle(lc, set.horizon) {
+                    Some(ja) => {
+                        agg.started += 1;
+                        agg.total_wait_secs += ja.total_wait_secs;
+                        agg.local_queue_secs += ja.local_queue_secs;
+                        agg.cosched_wait_secs += ja.cosched_wait_secs;
+                        agg.hold_secs += ja.hold_secs;
+                        agg.yields += u64::from(ja.yields);
+                        agg.forced_releases += u64::from(ja.forced_releases);
+                        per_job.push(ja);
+                    }
+                    None => {
+                        agg.unstarted += 1;
+                        // Holds/yields of never-started jobs still count as
+                        // coscheduling activity (deadlocked traces).
+                        agg.hold_secs += lc.hold_secs(set.horizon);
+                        agg.yields += lc.yields.len() as u64;
+                        agg.forced_releases += u64::from(lc.forced_releases);
+                    }
+                }
+            }
+            agg.scheme = if any_hold {
+                SchemeGuess::Hold
+            } else if any_yield {
+                SchemeGuess::Yield
+            } else {
+                SchemeGuess::Inactive
+            };
+            machines.push(agg);
+        }
+        AttributionReport { per_job, machines }
+    }
+
+    /// Combined scheme label across machines, e.g. "HY" (machine order).
+    pub fn scheme_label(&self) -> String {
+        self.machines.iter().map(|m| m.scheme.letter()).collect()
+    }
+
+    /// Aggregate row for one machine, if present.
+    pub fn machine(&self, machine: usize) -> Option<&MachineAttribution> {
+        self.machines.iter().find(|m| m.machine == machine)
+    }
+}
+
+impl fmt::Display for AttributionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut table = Table::new(
+            format!(
+                "wait-time attribution — inferred scheme combo {}",
+                self.scheme_label()
+            ),
+            &[
+                "machine",
+                "scheme",
+                "jobs",
+                "started",
+                "paired",
+                "wait (min avg)",
+                "local-queue",
+                "cosched",
+                "cosched %",
+                "hold (min avg)",
+                "yields",
+                "forced rel.",
+            ],
+        );
+        for m in &self.machines {
+            table.row(&[
+                format!("{}", m.machine),
+                m.scheme.letter().to_string(),
+                format!("{}", m.submitted),
+                format!("{}", m.started),
+                format!("{}", m.paired_jobs),
+                format!("{:.1}", m.mean_wait_mins()),
+                format!(
+                    "{:.1}",
+                    MachineAttribution::mean_mins(m.local_queue_secs, m.started)
+                ),
+                format!("{:.1}", m.mean_cosched_wait_mins()),
+                format!("{:.1}%", m.cosched_share() * 100.0),
+                format!(
+                    "{:.1}",
+                    MachineAttribution::mean_mins(m.hold_secs, m.submitted)
+                ),
+                format!("{}", m.yields),
+                format!("{}", m.forced_releases),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_obs::trace::{TraceEvent, TraceRecord};
+
+    fn rec(time: u64, machine: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time,
+            machine,
+            event,
+        }
+    }
+
+    /// Machine 0 holds (H side), machine 1 yields (Y side): a canonical HY
+    /// pair plus one unpaired job per machine.
+    fn hy_records() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    size: 10,
+                    paired: true,
+                },
+            ),
+            rec(
+                0,
+                1,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    size: 10,
+                    paired: true,
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::JobSubmitted {
+                    job: 2,
+                    size: 5,
+                    paired: false,
+                },
+            ),
+            rec(
+                0,
+                1,
+                TraceEvent::JobSubmitted {
+                    job: 2,
+                    size: 5,
+                    paired: false,
+                },
+            ),
+            // Unpaired jobs start after pure local queueing.
+            rec(
+                30,
+                0,
+                TraceEvent::CoschedStart {
+                    job: 2,
+                    with_mate: false,
+                },
+            ),
+            rec(
+                30,
+                1,
+                TraceEvent::CoschedStart {
+                    job: 2,
+                    with_mate: false,
+                },
+            ),
+            // Paired job on 0 holds at 60, mate on 1 yields twice, both
+            // start together at 180.
+            rec(60, 0, TraceEvent::CoschedHoldPlaced { job: 1, nodes: 10 }),
+            rec(
+                90,
+                1,
+                TraceEvent::CoschedYield {
+                    job: 1,
+                    yields_so_far: 1,
+                },
+            ),
+            rec(
+                120,
+                1,
+                TraceEvent::CoschedYield {
+                    job: 1,
+                    yields_so_far: 2,
+                },
+            ),
+            rec(
+                180,
+                1,
+                TraceEvent::CoschedRendezvousCommit {
+                    job: 1,
+                    mate: 1,
+                    anchored: true,
+                },
+            ),
+            rec(
+                180,
+                1,
+                TraceEvent::CoschedStart {
+                    job: 1,
+                    with_mate: true,
+                },
+            ),
+            rec(
+                180,
+                0,
+                TraceEvent::CoschedStart {
+                    job: 1,
+                    with_mate: true,
+                },
+            ),
+            rec(500, 0, TraceEvent::JobEnded { job: 1 }),
+            rec(500, 1, TraceEvent::JobEnded { job: 1 }),
+        ]
+    }
+
+    #[test]
+    fn decomposes_hold_and_yield_sides() {
+        let set = crate::lifecycle::LifecycleSet::from_records(&hy_records()).unwrap();
+        let report = AttributionReport::from_lifecycles(&set);
+        assert_eq!(report.scheme_label(), "HY");
+
+        let m0 = report.machine(0).unwrap();
+        assert_eq!(m0.scheme, SchemeGuess::Hold);
+        assert_eq!(m0.submitted, 2);
+        assert_eq!(m0.started, 2);
+        // Paired job: wait 180, local 60, cosched 120, hold 120.
+        assert_eq!(m0.cosched_wait_secs, 120);
+        assert_eq!(m0.hold_secs, 120);
+        assert_eq!(m0.yields, 0);
+        // Unpaired job contributes only local queueing.
+        assert_eq!(m0.total_wait_secs, 180 + 30);
+        assert_eq!(m0.local_queue_secs, 60 + 30);
+
+        let m1 = report.machine(1).unwrap();
+        assert_eq!(m1.scheme, SchemeGuess::Yield);
+        assert_eq!(m1.hold_secs, 0, "yield side must show zero hold time");
+        assert_eq!(m1.yields, 2);
+        // Paired job on 1: first yield at 90 → cosched wait 90.
+        assert_eq!(m1.cosched_wait_secs, 90);
+        assert_eq!(m1.anchored_commits, 1);
+    }
+
+    #[test]
+    fn per_job_rows_cover_started_jobs_only() {
+        let mut records = hy_records();
+        records.push(rec(
+            600,
+            0,
+            TraceEvent::JobSubmitted {
+                job: 9,
+                size: 1,
+                paired: false,
+            },
+        ));
+        let set = crate::lifecycle::LifecycleSet::from_records(&records).unwrap();
+        let report = AttributionReport::from_lifecycles(&set);
+        assert_eq!(report.per_job.len(), 4);
+        let m0 = report.machine(0).unwrap();
+        assert_eq!(m0.submitted, 3);
+        assert_eq!(m0.unstarted, 1);
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let set = crate::lifecycle::LifecycleSet::from_records(&hy_records()).unwrap();
+        let text = AttributionReport::from_lifecycles(&set).to_string();
+        assert!(text.contains("wait-time attribution"), "{text}");
+        assert!(text.contains("HY"), "{text}");
+        assert!(text.contains("machine"), "{text}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Trace diffing: align two same-workload traces by `(machine, job id)`
+//! and report what changed.
+//!
+//! Two uses drive the design. Comparing *schemes* (an HH trace against a
+//! YY trace of the same workload) shows per-job how much wait a policy
+//! shifted and where. Comparing *refactors* (the same scheme before and
+//! after a change, same seed) must come out exactly empty — the
+//! determinism invariant carried through the analysis layer — so
+//! [`DiffReport::is_identical`] is a meaningful regression check, not just
+//! a summary statistic.
+
+use crate::lifecycle::LifecycleSet;
+use cosched_metrics::table::Table;
+use std::fmt;
+
+/// Per-job delta between trace A and trace B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobDelta {
+    pub machine: usize,
+    pub job: u64,
+    /// Wait in A and B (started jobs; `None` = never started there).
+    pub wait_a: Option<u64>,
+    pub wait_b: Option<u64>,
+    /// `wait_b - wait_a` when both started.
+    pub wait_delta: Option<i64>,
+    /// `start_b - start_a` when both started.
+    pub start_skew: Option<i64>,
+    /// Hold-time delta (B minus A), clipped to each trace's horizon.
+    pub hold_delta: i64,
+}
+
+impl JobDelta {
+    /// True when nothing about the job moved (two never-started jobs with
+    /// equal hold history also count as unchanged).
+    pub fn is_zero(&self) -> bool {
+        self.wait_a == self.wait_b && self.start_skew == Some(0) && self.hold_delta == 0
+    }
+}
+
+/// Aggregate outcome of a diff.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// Jobs present in exactly one trace (different workloads).
+    pub only_in_a: usize,
+    pub only_in_b: usize,
+    /// Jobs compared (present in both).
+    pub compared: usize,
+    /// Of those, jobs whose wait/start/hold all matched exactly.
+    pub unchanged: usize,
+    /// Jobs started in one trace but not the other.
+    pub start_status_changed: usize,
+    /// Largest |wait_b - wait_a| in seconds.
+    pub max_abs_wait_delta: u64,
+    /// Mean signed wait delta (B minus A) over compared started jobs, secs.
+    pub mean_wait_delta_secs: f64,
+    /// Largest |start_b - start_a| in seconds.
+    pub max_abs_start_skew: u64,
+    /// Delivered node-seconds (size × runtime of finished jobs) per trace —
+    /// the utilization numerator; horizons for context.
+    pub delivered_node_secs: [u64; 2],
+    pub horizons: [u64; 2],
+    /// The jobs that moved the most (by |wait delta|), capped.
+    pub top_movers: Vec<JobDelta>,
+}
+
+/// How many movers the report retains.
+const TOP_MOVERS: usize = 10;
+
+impl DiffReport {
+    /// Diff `b` against baseline `a`.
+    pub fn compare(a: &LifecycleSet, b: &LifecycleSet) -> Self {
+        let mut report = DiffReport {
+            horizons: [a.horizon, b.horizon],
+            ..Default::default()
+        };
+        let mut movers: Vec<JobDelta> = Vec::new();
+        let mut wait_delta_sum = 0i64;
+        let mut wait_delta_n = 0u64;
+        for (key, la) in &a.jobs {
+            let Some(lb) = b.jobs.get(key) else {
+                report.only_in_a += 1;
+                continue;
+            };
+            report.compared += 1;
+            let (wait_a, wait_b) = (la.wait_secs(), lb.wait_secs());
+            let wait_delta = match (wait_a, wait_b) {
+                (Some(x), Some(y)) => Some(y as i64 - x as i64),
+                _ => None,
+            };
+            let start_skew = match (la.start, lb.start) {
+                (Some(x), Some(y)) => Some(y as i64 - x as i64),
+                (None, None) => Some(0),
+                _ => {
+                    report.start_status_changed += 1;
+                    None
+                }
+            };
+            let hold_delta = lb.hold_secs(b.horizon) as i64 - la.hold_secs(a.horizon) as i64;
+            let delta = JobDelta {
+                machine: key.0,
+                job: key.1,
+                wait_a,
+                wait_b,
+                wait_delta,
+                start_skew,
+                hold_delta,
+            };
+            if let Some(d) = wait_delta {
+                report.max_abs_wait_delta = report.max_abs_wait_delta.max(d.unsigned_abs());
+                wait_delta_sum += d;
+                wait_delta_n += 1;
+            }
+            if let Some(s) = start_skew {
+                report.max_abs_start_skew = report.max_abs_start_skew.max(s.unsigned_abs());
+            }
+            if delta.is_zero() {
+                report.unchanged += 1;
+            } else {
+                movers.push(delta);
+            }
+        }
+        report.only_in_b = b.jobs.len() - report.compared;
+        report.mean_wait_delta_secs = if wait_delta_n == 0 {
+            0.0
+        } else {
+            wait_delta_sum as f64 / wait_delta_n as f64
+        };
+        for (i, set) in [a, b].into_iter().enumerate() {
+            report.delivered_node_secs[i] = set
+                .jobs
+                .values()
+                .filter_map(|lc| lc.run_secs().map(|r| r * lc.size))
+                .sum();
+        }
+        // Deterministic mover order: largest |wait delta| first, then key.
+        movers.sort_by_key(|d| {
+            (
+                std::cmp::Reverse(d.wait_delta.map_or(u64::MAX, i64::unsigned_abs)),
+                d.machine,
+                d.job,
+            )
+        });
+        movers.truncate(TOP_MOVERS);
+        report.top_movers = movers;
+        report
+    }
+
+    /// The determinism check: same workload, every job identical.
+    pub fn is_identical(&self) -> bool {
+        self.only_in_a == 0
+            && self.only_in_b == 0
+            && self.unchanged == self.compared
+            && self.start_status_changed == 0
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace diff: {} jobs compared, {} unchanged, {} only in A, {} only in B",
+            self.compared, self.unchanged, self.only_in_a, self.only_in_b
+        )?;
+        if self.is_identical() {
+            return writeln!(f, "traces are identical per job (zero delta everywhere)");
+        }
+        writeln!(
+            f,
+            "wait delta (B−A): mean {:+.1}s, max |Δ| {}s; max start skew {}s; start-status changes {}",
+            self.mean_wait_delta_secs,
+            self.max_abs_wait_delta,
+            self.max_abs_start_skew,
+            self.start_status_changed
+        )?;
+        writeln!(
+            f,
+            "delivered node-seconds: A {} (horizon {}s) vs B {} (horizon {}s)",
+            self.delivered_node_secs[0],
+            self.horizons[0],
+            self.delivered_node_secs[1],
+            self.horizons[1]
+        )?;
+        if !self.top_movers.is_empty() {
+            let mut table = Table::new(
+                "largest per-job wait deltas",
+                &[
+                    "machine/job",
+                    "wait A (s)",
+                    "wait B (s)",
+                    "Δwait (s)",
+                    "start skew (s)",
+                    "Δhold (s)",
+                ],
+            );
+            let opt = |v: Option<u64>| v.map_or("—".to_string(), |x| x.to_string());
+            let opt_i = |v: Option<i64>| v.map_or("—".to_string(), |x| format!("{x:+}"));
+            for d in &self.top_movers {
+                table.row(&[
+                    format!("{}/{}", d.machine, d.job),
+                    opt(d.wait_a),
+                    opt(d.wait_b),
+                    opt_i(d.wait_delta),
+                    opt_i(d.start_skew),
+                    format!("{:+}", d.hold_delta),
+                ]);
+            }
+            write!(f, "{table}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_obs::trace::{TraceEvent, TraceRecord};
+
+    fn rec(time: u64, machine: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time,
+            machine,
+            event,
+        }
+    }
+
+    fn simple_trace(start_at: u64) -> LifecycleSet {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    size: 4,
+                    paired: false,
+                },
+            ),
+            rec(
+                start_at,
+                0,
+                TraceEvent::CoschedStart {
+                    job: 1,
+                    with_mate: false,
+                },
+            ),
+            rec(start_at + 100, 0, TraceEvent::JobEnded { job: 1 }),
+        ];
+        LifecycleSet::from_records(&records).unwrap()
+    }
+
+    #[test]
+    fn identical_traces_report_zero_delta() {
+        let a = simple_trace(50);
+        let b = simple_trace(50);
+        let report = DiffReport::compare(&a, &b);
+        assert!(report.is_identical(), "{report:?}");
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.unchanged, 1);
+        assert_eq!(report.max_abs_wait_delta, 0);
+        assert!(report.top_movers.is_empty());
+        assert!(report.to_string().contains("identical per job"));
+    }
+
+    #[test]
+    fn shifted_start_shows_up_as_wait_and_skew() {
+        let a = simple_trace(50);
+        let b = simple_trace(80);
+        let report = DiffReport::compare(&a, &b);
+        assert!(!report.is_identical());
+        assert_eq!(report.max_abs_wait_delta, 30);
+        assert_eq!(report.max_abs_start_skew, 30);
+        assert_eq!(report.mean_wait_delta_secs, 30.0);
+        assert_eq!(report.top_movers.len(), 1);
+        assert_eq!(report.top_movers[0].wait_delta, Some(30));
+        assert!(report.to_string().contains("largest per-job wait deltas"));
+    }
+
+    #[test]
+    fn disjoint_jobs_are_counted_not_compared() {
+        let a = simple_trace(50);
+        let records = vec![rec(
+            0,
+            0,
+            TraceEvent::JobSubmitted {
+                job: 2,
+                size: 4,
+                paired: false,
+            },
+        )];
+        let b = LifecycleSet::from_records(&records).unwrap();
+        let report = DiffReport::compare(&a, &b);
+        assert_eq!(report.only_in_a, 1);
+        assert_eq!(report.only_in_b, 1);
+        assert_eq!(report.compared, 0);
+        assert!(!report.is_identical());
+    }
+
+    #[test]
+    fn started_vs_unstarted_is_a_status_change() {
+        let a = simple_trace(50);
+        let records = vec![rec(
+            0,
+            0,
+            TraceEvent::JobSubmitted {
+                job: 1,
+                size: 4,
+                paired: false,
+            },
+        )];
+        let b = LifecycleSet::from_records(&records).unwrap();
+        let report = DiffReport::compare(&a, &b);
+        assert_eq!(report.start_status_changed, 1);
+        assert!(!report.is_identical());
+    }
+
+    #[test]
+    fn delivered_node_seconds_follow_runtimes() {
+        let a = simple_trace(50);
+        let b = simple_trace(80);
+        let report = DiffReport::compare(&a, &b);
+        // Both runs: one 4-node job running 100 s.
+        assert_eq!(report.delivered_node_secs, [400, 400]);
+    }
+}

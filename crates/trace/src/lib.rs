@@ -1,0 +1,38 @@
+//! Trace analysis for the coupled-coscheduling stack: turn the JSONL event
+//! streams emitted by `cosched-obs` into answers.
+//!
+//! The observability layer writes; this crate reads. Four pieces:
+//!
+//! * **Lifecycle reconstruction** ([`lifecycle`]) — fold the interleaved
+//!   [`cosched_obs::TraceRecord`] stream back into per-job timelines
+//!   (submit → queued ⇄ held → running → finished), strictly validating
+//!   event ordering so emission bugs fail loudly.
+//! * **Wait-time attribution** ([`attribution`]) — decompose each job's
+//!   wait into local queueing vs. coscheduling components (hold time,
+//!   yield give-backs, forced releases), aggregated per machine with the
+//!   machine's scheme (hold/yield) inferred from its events. This is the
+//!   paper's §V trade-off made measurable from a trace alone.
+//! * **Trace diffing** ([`diff`]) — align two same-workload traces by
+//!   `(machine, job)` and report per-job and aggregate deltas; two
+//!   same-seed traces of the same scheme must diff to zero, which makes
+//!   the differ a determinism regression check.
+//! * **Exposition** ([`prom`], [`render`]) — Prometheus text-format output
+//!   for [`cosched_obs::MetricsSnapshot`]s, and ASCII Gantt/utilization
+//!   timelines rendered deterministically from lifecycles.
+//!
+//! Everything consumes plain `&[TraceRecord]`, read back through
+//! [`cosched_obs::reader::TraceReader`]; no simulation types are needed,
+//! so traces can be analyzed long after (and far away from) the run that
+//! produced them.
+
+pub mod attribution;
+pub mod diff;
+pub mod lifecycle;
+pub mod prom;
+pub mod render;
+
+pub use attribution::{AttributionReport, JobAttribution, MachineAttribution, SchemeGuess};
+pub use diff::{DiffReport, JobDelta};
+pub use lifecycle::{JobLifecycle, LifecycleError, LifecycleSet, Rendezvous};
+pub use prom::{render_prometheus, sanitize_name};
+pub use render::{render_gantt, render_utilization};

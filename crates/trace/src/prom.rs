@@ -1,0 +1,137 @@
+//! Prometheus text-format exposition of [`MetricsSnapshot`]s.
+//!
+//! Renders the deterministic metrics registry in the exposition format
+//! scrapers expect (text format version 0.0.4): counters as single
+//! samples, log₂ histograms as cumulative `_bucket{le="…"}` series with
+//! `_sum`/`_count`. Metric names are sanitized to `[a-zA-Z0-9_:]` and the
+//! output is sorted by exposed name, so equal snapshots render to
+//! byte-identical text — the registry's determinism contract carried
+//! through to the wire format.
+
+use cosched_obs::metrics::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Sanitize a registry metric name into a legal Prometheus metric name.
+///
+/// Dots and dashes (the registry's namespace separators) become
+/// underscores; a leading digit is prefixed. `cosched.holds` →
+/// `cosched_holds`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            // A digit cannot lead; prefix and keep it.
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a whole snapshot to Prometheus text format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    // Sort by exposed (sanitized) name so sanitization collisions or
+    // reorderings cannot make output order depend on registry internals.
+    let mut counters: Vec<(String, &CounterSnapshot)> = snapshot
+        .counters
+        .iter()
+        .map(|c| (sanitize_name(&c.name), c))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut histograms: Vec<(String, &HistogramSnapshot)> = snapshot
+        .histograms
+        .iter()
+        .map(|h| (sanitize_name(&h.name), h))
+        .collect();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::new();
+    for (name, c) in counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for (name, h) in histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            cumulative += b.count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", b.le);
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_obs::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("cosched.holds"), "cosched_holds");
+        assert_eq!(sanitize_name("rpc-timeouts"), "rpc_timeouts");
+        assert_eq!(sanitize_name("job.wait_secs"), "job_wait_secs");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_and_cumulative_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("cosched.holds", 3);
+        reg.set("rpc.calls", 7);
+        for v in [0u64, 1, 2, 1000] {
+            reg.observe("job.wait_secs", v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        assert!(
+            text.contains("# TYPE cosched_holds counter\ncosched_holds 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE job_wait_secs histogram"), "{text}");
+        // Buckets are cumulative: 0→1, 1→2, ≤3→3, ≤1023→4, +Inf→4.
+        assert!(text.contains("job_wait_secs_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("job_wait_secs_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("job_wait_secs_bucket{le=\"3\"} 3"), "{text}");
+        assert!(
+            text.contains("job_wait_secs_bucket{le=\"1023\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("job_wait_secs_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("job_wait_secs_sum 1003"), "{text}");
+        assert!(text.contains("job_wait_secs_count 4"), "{text}");
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let build = |order: &[&'static str]| {
+            let mut reg = MetricsRegistry::new();
+            for &n in order {
+                reg.inc(n);
+            }
+            render_prometheus(&reg.snapshot())
+        };
+        let t1 = build(&["z.last", "a.first", "m.mid"]);
+        let t2 = build(&["m.mid", "z.last", "a.first"]);
+        assert_eq!(t1, t2);
+        let a = t1.find("a_first").unwrap();
+        let m = t1.find("m_mid").unwrap();
+        let z = t1.find("z_last").unwrap();
+        assert!(a < m && m < z, "{t1}");
+    }
+}

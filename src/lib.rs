@@ -17,7 +17,11 @@
 //!   service-unit loss),
 //! * [`obs`] — the observability layer: structured sim-time trace events,
 //!   sinks (JSONL, ring buffer), a metrics registry, and wall-clock phase
-//!   profiling, all guaranteed not to perturb simulation outcomes.
+//!   profiling, all guaranteed not to perturb simulation outcomes,
+//! * [`trace`] — trace analysis: job-lifecycle reconstruction from JSONL
+//!   event streams, wait-time attribution (local queueing vs.
+//!   coscheduling), trace diffing, Prometheus text exposition, and ASCII
+//!   timeline rendering.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
@@ -28,6 +32,7 @@ pub use cosched_proto as proto;
 pub use cosched_resv as resv;
 pub use cosched_sched as sched;
 pub use cosched_sim as sim;
+pub use cosched_trace as trace;
 pub use cosched_workload as workload;
 
 /// Commonly used items, importable as `use coupled_cosched::prelude::*`.
@@ -42,6 +47,7 @@ pub mod prelude {
     pub use cosched_sched::machine::MachineConfig;
     pub use cosched_sched::policy::PolicyKind;
     pub use cosched_sim::{SimDuration, SimTime};
+    pub use cosched_trace::{AttributionReport, DiffReport, LifecycleSet};
     pub use cosched_workload::job::{Job, JobId, MachineId};
     pub use cosched_workload::trace::Trace;
 }
