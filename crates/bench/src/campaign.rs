@@ -1,0 +1,365 @@
+//! Parallel simulation campaign runner.
+//!
+//! Every paper figure (Figs. 3–10) is a sweep of (scheme combo × grid
+//! point × seed) cases, and each *cell* of that grid is an independent
+//! simulation — it owns its RNG seed, its traces, and its machines, and
+//! shares nothing with any other cell. The campaign exploits exactly that:
+//! cells are enumerated in a fixed **submission order**, fanned out over a
+//! pool of scoped worker threads (the `crossbeam` shim: a pre-filled
+//! multi-consumer channel as the work queue), and their outcomes are
+//! reassembled by submission index before folding.
+//!
+//! # Determinism invariant
+//!
+//! A parallel campaign is **byte-identical** to the serial one. Two things
+//! make this hold, and both are load-bearing:
+//!
+//! * each cell's [`SeedOutcome`] is a pure function of `(combo, traces)` —
+//!   no shared mutable state, no wall-clock input;
+//! * [`fold_outcomes`] accumulates floats in seed order, and the campaign
+//!   always folds outcomes in submission order regardless of completion
+//!   order.
+//!
+//! The invariant is pinned by a tier-1 integration test
+//! (`tests/campaign.rs`) comparing serialized bytes of serial and parallel
+//! sweeps.
+
+use crate::harness::{
+    anl_load_traces, anl_proportion_traces, fold_outcomes, run_seed, LoadSweep, PropSweep, Scale,
+    SeedOutcome, SweepPoint, EUREKA_UTILS, PROPORTIONS,
+};
+use cosched_core::{CoupledConfig, CoupledSimulation, SchemeCombo};
+use cosched_obs::PhaseSnapshot;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Which sweep a campaign covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Eureka-utilization load sweep (Figs. 3–6).
+    Load,
+    /// Paired-proportion sweep (Figs. 7–10).
+    Proportion,
+}
+
+impl SweepKind {
+    /// The sweep's x-axis grid.
+    pub fn grid(self) -> &'static [f64] {
+        match self {
+            SweepKind::Load => &EUREKA_UTILS,
+            SweepKind::Proportion => &PROPORTIONS,
+        }
+    }
+
+    /// Stable machine-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepKind::Load => "load",
+            SweepKind::Proportion => "prop",
+        }
+    }
+}
+
+/// One independent unit of campaign work: a `(grid point, combo, seed)`
+/// triple, self-describing enough to build its traces and run.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignCell {
+    /// Which sweep the cell belongs to.
+    pub kind: SweepKind,
+    /// Grid-point value (Eureka utilization or paired proportion).
+    pub x: f64,
+    /// Scheme combination; `None` is the no-coscheduling baseline.
+    pub combo: Option<SchemeCombo>,
+    /// Trace seed (1-based, matching the serial harness).
+    pub seed: u64,
+    /// Trace span in days.
+    pub days: u64,
+}
+
+impl CampaignCell {
+    /// Build this cell's traces.
+    pub fn traces(&self) -> [cosched_workload::Trace; 2] {
+        match self.kind {
+            SweepKind::Load => anl_load_traces(self.seed, self.days, self.x),
+            SweepKind::Proportion => anl_proportion_traces(self.seed, self.days, self.x),
+        }
+    }
+
+    /// Run the cell to its outcome.
+    pub fn run(&self) -> SeedOutcome {
+        run_seed(self.combo, self.traces())
+    }
+}
+
+/// Enumerate a sweep's cells in submission order: for each grid point, the
+/// baseline then the four combos (the order [`SchemeCombo::ALL`] lists
+/// them), each across all seeds — exactly the order the serial
+/// `load_sweep` / `prop_sweep` loops visit.
+pub fn sweep_cells(kind: SweepKind, scale: Scale) -> Vec<CampaignCell> {
+    let mut cells = Vec::new();
+    for &x in kind.grid() {
+        let combos = std::iter::once(None).chain(SchemeCombo::ALL.iter().copied().map(Some));
+        for combo in combos {
+            for seed in 0..scale.seeds {
+                cells.push(CampaignCell {
+                    kind,
+                    x,
+                    combo,
+                    seed: seed + 1,
+                    days: scale.days,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Run `cells` on a pool of `threads` workers, returning outcomes in
+/// submission order.
+///
+/// The pool pre-fills an unbounded channel with every `(index, cell)` task
+/// and drops the sender before spawning workers, so the shim's
+/// mutex-guarded receiver is only ever polled non-blockingly (`try_recv`)
+/// on a closed, fully loaded queue — `Empty` means the campaign is drained,
+/// never "wait for more". Results come back tagged with their submission
+/// index and are slotted into place.
+///
+/// # Panics
+/// Panics if any worker panics (a cell failure is a simulation bug, not a
+/// recoverable condition) or if `threads` is zero.
+pub fn run_cells(cells: &[CampaignCell], threads: usize) -> Vec<SeedOutcome> {
+    assert!(threads > 0, "campaign needs at least one worker");
+    if threads == 1 || cells.len() <= 1 {
+        // The serial reference path: no pool, same fold order.
+        return cells.iter().map(CampaignCell::run).collect();
+    }
+    let (task_tx, task_rx) = crossbeam::channel::unbounded();
+    for (i, cell) in cells.iter().enumerate() {
+        task_tx.send((i, *cell)).expect("receiver held open below");
+    }
+    drop(task_tx);
+    let (out_tx, out_rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(cells.len()) {
+            let rx = task_rx.clone();
+            let tx = out_tx.clone();
+            s.spawn(move || {
+                while let Ok((i, cell)) = rx.try_recv() {
+                    tx.send((i, cell.run()))
+                        .expect("collector outlives workers");
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    drop(out_tx);
+    let mut out: Vec<Option<SeedOutcome>> = Vec::new();
+    out.resize_with(cells.len(), || None);
+    while let Ok((i, outcome)) = out_rx.recv() {
+        debug_assert!(out[i].is_none(), "cell {i} produced twice");
+        out[i] = Some(outcome);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every submitted cell produces an outcome"))
+        .collect()
+}
+
+/// Fold submission-ordered outcomes back into sweep points. Consumes the
+/// outcomes in the same nested order [`sweep_cells`] emitted them.
+pub fn assemble_points(kind: SweepKind, scale: Scale, outcomes: &[SeedOutcome]) -> Vec<SweepPoint> {
+    let seeds = scale.seeds as usize;
+    assert_eq!(
+        outcomes.len(),
+        kind.grid().len() * (1 + SchemeCombo::ALL.len()) * seeds,
+        "outcome count must match the sweep grid"
+    );
+    let mut chunks = outcomes.chunks_exact(seeds);
+    kind.grid()
+        .iter()
+        .map(|&x| {
+            let base = fold_outcomes(chunks.next().expect("sized above"));
+            let combos = SchemeCombo::ALL
+                .iter()
+                .map(|&c| (c, fold_outcomes(chunks.next().expect("sized above"))))
+                .collect();
+            (x, base, combos)
+        })
+        .collect()
+}
+
+/// Parallel equivalent of `harness::load_sweep`: same points, computed on
+/// `threads` workers.
+pub fn parallel_load_sweep(scale: Scale, threads: usize) -> LoadSweep {
+    let cells = sweep_cells(SweepKind::Load, scale);
+    let outcomes = run_cells(&cells, threads);
+    LoadSweep {
+        points: assemble_points(SweepKind::Load, scale, &outcomes),
+        scale,
+    }
+}
+
+/// Parallel equivalent of `harness::prop_sweep`.
+pub fn parallel_prop_sweep(scale: Scale, threads: usize) -> PropSweep {
+    let cells = sweep_cells(SweepKind::Proportion, scale);
+    let outcomes = run_cells(&cells, threads);
+    PropSweep {
+        points: assemble_points(SweepKind::Proportion, scale, &outcomes),
+        scale,
+    }
+}
+
+/// One timed execution of the cell set at a given worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock for the whole cell set, seconds.
+    pub wall_clock_secs: f64,
+    /// Throughput in cells per second.
+    pub cells_per_sec: f64,
+    /// Serial (1-thread) wall-clock divided by this run's.
+    pub speedup_vs_serial: f64,
+}
+
+/// Machine-readable benchmark record of one campaign — the unit committed
+/// to `BENCH_sim.json` so later changes have a perf trajectory to regress
+/// against.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Sweep name (`"load"` / `"prop"`).
+    pub sweep: String,
+    /// Trace span in days.
+    pub days: u64,
+    /// Seeds per case.
+    pub seeds: u64,
+    /// Total cells in the campaign.
+    pub cells: usize,
+    /// Wall-clock timings, serial first.
+    pub timings: Vec<CampaignTiming>,
+    /// Every parallel run's outcomes equalled the serial run's.
+    pub deterministic: bool,
+    /// Wall-clock phase profile (scheduler iteration, release sweep, RPC,
+    /// event dispatch) of one representative traced cell — the serial
+    /// hot-path breakdown parallelism cannot hide.
+    pub phase_profile: Vec<PhaseSnapshot>,
+}
+
+/// Run a campaign at 1 thread (the reference) and at each requested worker
+/// count, timing each pass, verifying parallel outcomes equal serial ones,
+/// and profiling one representative cell. Returns the sweep points (from
+/// the serial pass) alongside the benchmark report.
+pub fn bench_campaign(
+    kind: SweepKind,
+    scale: Scale,
+    thread_counts: &[usize],
+) -> (Vec<SweepPoint>, CampaignReport) {
+    let cells = sweep_cells(kind, scale);
+    let started = Instant::now();
+    let serial = run_cells(&cells, 1);
+    let serial_secs = started.elapsed().as_secs_f64();
+    let mut timings = vec![CampaignTiming {
+        threads: 1,
+        wall_clock_secs: serial_secs,
+        cells_per_sec: cells.len() as f64 / serial_secs.max(1e-9),
+        speedup_vs_serial: 1.0,
+    }];
+    let mut deterministic = true;
+    for &threads in thread_counts {
+        if threads <= 1 {
+            continue;
+        }
+        let started = Instant::now();
+        let parallel = run_cells(&cells, threads);
+        let secs = started.elapsed().as_secs_f64();
+        deterministic &= parallel == serial;
+        timings.push(CampaignTiming {
+            threads,
+            wall_clock_secs: secs,
+            cells_per_sec: cells.len() as f64 / secs.max(1e-9),
+            speedup_vs_serial: serial_secs / secs.max(1e-9),
+        });
+    }
+    let phase_profile = phase_profile_of(&cells[0]);
+    let report = CampaignReport {
+        sweep: kind.label().to_string(),
+        days: scale.days,
+        seeds: scale.seeds,
+        cells: cells.len(),
+        timings,
+        deterministic,
+        phase_profile,
+    };
+    (assemble_points(kind, scale, &serial), report)
+}
+
+/// Wall-clock phase profile of one cell, run traced.
+fn phase_profile_of(cell: &CampaignCell) -> Vec<PhaseSnapshot> {
+    let config = match cell.combo {
+        Some(c) => CoupledConfig::anl(c),
+        None => CoupledConfig::anl_baseline(),
+    };
+    CoupledSimulation::new(config, cell.traces())
+        .run_traced()
+        .profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { days: 2, seeds: 2 }
+    }
+
+    #[test]
+    fn cells_enumerate_in_serial_sweep_order() {
+        let cells = sweep_cells(SweepKind::Load, tiny());
+        assert_eq!(cells.len(), EUREKA_UTILS.len() * 5 * 2);
+        // First grid point: baseline seeds 1..=2, then HH seeds 1..=2.
+        assert_eq!(cells[0].x, EUREKA_UTILS[0]);
+        assert_eq!(cells[0].combo, None);
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+        assert_eq!(cells[2].combo, Some(SchemeCombo::HH));
+        // Last cell: last grid point, YY, last seed.
+        let last = cells.last().unwrap();
+        assert_eq!(last.x, *EUREKA_UTILS.last().unwrap());
+        assert_eq!(last.combo, Some(SchemeCombo::YY));
+        assert_eq!(last.seed, 2);
+    }
+
+    #[test]
+    fn parallel_outcomes_equal_serial() {
+        // A small real slice of the proportion sweep, 1 vs 3 workers.
+        let cells: Vec<CampaignCell> = sweep_cells(SweepKind::Proportion, tiny())
+            .into_iter()
+            .take(6)
+            .collect();
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 3);
+        assert_eq!(serial, parallel, "fan-out must not change outcomes");
+    }
+
+    #[test]
+    fn assemble_points_matches_grid_shape() {
+        let scale = tiny();
+        let cells = sweep_cells(SweepKind::Load, scale);
+        // Synthesize outcomes cheaply: run only the first cell and clone it
+        // into every slot (assembly only cares about order and shape).
+        let one = cells[0].run();
+        let outcomes = vec![one; cells.len()];
+        let points = assemble_points(SweepKind::Load, scale, &outcomes);
+        assert_eq!(points.len(), EUREKA_UTILS.len());
+        for (x, _base, combos) in &points {
+            assert!(EUREKA_UTILS.contains(x));
+            assert_eq!(combos.len(), SchemeCombo::ALL.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let cells = sweep_cells(SweepKind::Load, tiny());
+        let _ = run_cells(&cells, 0);
+    }
+}

@@ -130,7 +130,11 @@ pub fn anl_proportion_traces(seed: u64, days: u64, proportion: f64) -> [Trace; 2
 }
 
 /// Averaged outcome of one experimental case.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` + `Serialize` let the campaign runner's determinism
+/// invariant be checked exactly: a parallel campaign must produce results
+/// that are equal — and serialize byte-identically — to the serial run's.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CaseResult {
     /// Intrepid's averaged summary.
     pub intrepid: MachineSummary,
@@ -158,39 +162,74 @@ pub fn run_one(combo: Option<SchemeCombo>, traces: [Trace; 2]) -> SimulationRepo
     CoupledSimulation::new(config, traces).run()
 }
 
-/// Run a case across `scale.seeds` seeds and average. `mk_traces` builds the
-/// per-seed traces (seed is passed in).
-pub fn run_case<F>(combo: Option<SchemeCombo>, scale: Scale, mut mk_traces: F) -> CaseResult
-where
-    F: FnMut(u64) -> [Trace; 2],
-{
-    let mut intrepid = Vec::new();
-    let mut eureka = Vec::new();
+/// What one seed of a case contributes to the average — the unit of work a
+/// campaign worker produces. Every field is an independent function of
+/// `(combo, traces)` alone, which is what makes the campaign's fan-out
+/// deterministic: outcomes can be computed in any order and folded in seed
+/// order, reproducing the serial loop bit for bit (f64 accumulation order
+/// included).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SeedOutcome {
+    /// Intrepid's summary for this seed.
+    pub intrepid: MachineSummary,
+    /// Eureka's summary for this seed.
+    pub eureka: MachineSummary,
+    /// All paired jobs started simultaneously.
+    pub sync_ok: bool,
+    /// The seed deadlocked.
+    pub deadlocked: bool,
+    /// Deadlock-breaker activations.
+    pub forced_releases: u64,
+    /// Achieved paired proportion for this seed's traces.
+    pub paired_share: f64,
+    /// Rendezvous paths `(anchored, direct, independent)`.
+    pub rendezvous: (usize, usize, usize),
+}
+
+/// Run one seed of a case: the independent cell the campaign parallelises
+/// over.
+pub fn run_seed(combo: Option<SchemeCombo>, traces: [Trace; 2]) -> SeedOutcome {
+    let total_jobs = traces[0].len() + traces[1].len();
+    let paired = traces[0].paired_count() + traces[1].paired_count();
+    let paired_share = paired as f64 / total_jobs.max(1) as f64;
+    let report = run_one(combo, traces);
+    SeedOutcome {
+        intrepid: report.summaries[0].clone(),
+        eureka: report.summaries[1].clone(),
+        sync_ok: report.all_pairs_synchronized(),
+        deadlocked: report.deadlocked,
+        forced_releases: report.forced_releases,
+        paired_share,
+        rendezvous: (
+            report.rendezvous.anchored,
+            report.rendezvous.direct,
+            report.rendezvous.independent,
+        ),
+    }
+}
+
+/// Fold per-seed outcomes (in seed order) into a [`CaseResult`]. The fold
+/// accumulates in slice order, so feeding it outcomes in the same order the
+/// serial loop produced them yields a bit-identical average.
+pub fn fold_outcomes(outcomes: &[SeedOutcome]) -> CaseResult {
+    assert!(!outcomes.is_empty(), "a case needs at least one seed");
+    let mut intrepid = Vec::with_capacity(outcomes.len());
+    let mut eureka = Vec::with_capacity(outcomes.len());
     let mut sync_ok = true;
     let mut deadlocked = false;
     let mut forced = 0;
     let mut paired_share = 0.0;
     let mut rendezvous = (0usize, 0usize, 0usize);
-    for seed in 0..scale.seeds {
-        let traces = mk_traces(seed + 1);
-        eprintln!(
-            "  case combo={} seed={}/{} …",
-            combo.map_or("baseline".to_string(), |c| c.label()),
-            seed + 1,
-            scale.seeds
-        );
-        let total_jobs = traces[0].len() + traces[1].len();
-        let paired = traces[0].paired_count() + traces[1].paired_count();
-        paired_share += paired as f64 / total_jobs.max(1) as f64;
-        let report = run_one(combo, traces);
-        sync_ok &= report.all_pairs_synchronized();
-        deadlocked |= report.deadlocked;
-        forced += report.forced_releases;
-        rendezvous.0 += report.rendezvous.anchored;
-        rendezvous.1 += report.rendezvous.direct;
-        rendezvous.2 += report.rendezvous.independent;
-        intrepid.push(report.summaries[0].clone());
-        eureka.push(report.summaries[1].clone());
+    for o in outcomes {
+        paired_share += o.paired_share;
+        sync_ok &= o.sync_ok;
+        deadlocked |= o.deadlocked;
+        forced += o.forced_releases;
+        rendezvous.0 += o.rendezvous.0;
+        rendezvous.1 += o.rendezvous.1;
+        rendezvous.2 += o.rendezvous.2;
+        intrepid.push(o.intrepid.clone());
+        eureka.push(o.eureka.clone());
     }
     CaseResult {
         intrepid: MachineSummary::average(&intrepid),
@@ -198,9 +237,30 @@ where
         sync_ok,
         deadlocked,
         forced_releases: forced,
-        paired_share: paired_share / scale.seeds as f64,
+        paired_share: paired_share / outcomes.len() as f64,
         rendezvous,
     }
+}
+
+/// Run a case across `scale.seeds` seeds and average. `mk_traces` builds the
+/// per-seed traces (seed is passed in).
+pub fn run_case<F>(combo: Option<SchemeCombo>, scale: Scale, mut mk_traces: F) -> CaseResult
+where
+    F: FnMut(u64) -> [Trace; 2],
+{
+    let outcomes: Vec<SeedOutcome> = (0..scale.seeds)
+        .map(|seed| {
+            let traces = mk_traces(seed + 1);
+            eprintln!(
+                "  case combo={} seed={}/{} …",
+                combo.map_or("baseline".to_string(), |c| c.label()),
+                seed + 1,
+                scale.seeds
+            );
+            run_seed(combo, traces)
+        })
+        .collect();
+    fold_outcomes(&outcomes)
 }
 
 /// One sweep grid point: the x-axis value (utilization or proportion), the

@@ -11,7 +11,12 @@
 //! reports while keeping each figure binary under a minute; `smoke` (3
 //! days, 1 seed) is for CI.
 
+pub mod campaign;
 pub mod figures;
 pub mod harness;
 
-pub use harness::{CaseResult, LoadSweep, PropSweep, Scale};
+pub use campaign::{
+    bench_campaign, parallel_load_sweep, parallel_prop_sweep, CampaignCell, CampaignReport,
+    CampaignTiming, SweepKind,
+};
+pub use harness::{CaseResult, LoadSweep, PropSweep, Scale, SeedOutcome};

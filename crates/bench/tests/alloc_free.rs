@@ -1,0 +1,210 @@
+//! Allocation-freeness of the scheduler hot paths, asserted with a
+//! counting global allocator.
+//!
+//! The campaign runner executes millions of scheduling iterations per
+//! sweep; the optimization work (reused `OrderScratch`, incrementally
+//! sorted release list, buddy order bitmask) only pays off if the
+//! steady-state paths stay off the allocator entirely. These tests pin
+//! that: after a warm-up call to size the reusable buffers, the hot
+//! paths must perform **zero** heap allocations.
+//!
+//! The counter is thread-local so concurrently running test threads
+//! cannot pollute each other's counts; dealloc is deliberately not
+//! counted (dropping a warm buffer is fine — growing one is not).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+use cosched_sched::alloc::BuddyAllocator;
+use cosched_sched::backfill::{compute_shadow, compute_shadow_sorted, ProjectedRelease};
+use cosched_sched::policy::{order_queue_into, OrderScratch};
+use cosched_sched::{Machine, MachineConfig, NodeAllocator, PolicyKind};
+use cosched_sim::{SimDuration, SimTime};
+use cosched_workload::{Job, JobId, MachineId};
+
+struct CountingAlloc;
+
+thread_local! {
+    // `const` init: reading the counter never lazily allocates.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations (alloc + realloc) performed by `f` on this thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+fn queue_jobs(n: u64) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            Job::new(
+                JobId(i),
+                MachineId(0),
+                SimTime::from_secs(i * 11 % 7_200),
+                64 << (i % 4),
+                SimDuration::from_secs(600 + (i % 7) * 300),
+                SimDuration::from_secs(3_600),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn counter_counts() {
+    let n = count_allocs(|| {
+        black_box(vec![0u64; 32]);
+    });
+    assert!(n > 0, "counting allocator must observe Vec allocation");
+}
+
+#[test]
+fn order_queue_into_is_allocation_free_after_warmup() {
+    let jobs = queue_jobs(128);
+    let views: Vec<(&Job, f64)> = jobs.iter().map(|j| (j, 0.0)).collect();
+    let now = SimTime::from_secs(86_400);
+    let mut scratch = OrderScratch::new();
+    // Warm-up sizes the scratch buffers.
+    order_queue_into(PolicyKind::Wfp, now, &views, &|_| false, &mut scratch);
+    let n = count_allocs(|| {
+        for _ in 0..16 {
+            order_queue_into(PolicyKind::Wfp, now, &views, &|_| false, &mut scratch);
+            black_box(scratch.order().len());
+        }
+    });
+    assert_eq!(n, 0, "steady-state queue ordering must not allocate");
+}
+
+#[test]
+fn compute_shadow_sorted_is_allocation_free() {
+    let mut releases: Vec<ProjectedRelease> = (0..64u64)
+        .map(|i| ProjectedRelease {
+            end: SimTime::from_secs(100 + i * 37),
+            nodes: 512 << (i % 3),
+        })
+        .collect();
+    releases.sort_by_key(|r| (r.end, r.nodes));
+    let head = releases.iter().map(|r| r.nodes).sum::<u64>() - 512;
+    let n = count_allocs(|| {
+        for _ in 0..16 {
+            black_box(compute_shadow_sorted(head, 0, releases.iter().copied()).time);
+        }
+    });
+    assert_eq!(n, 0, "sorted shadow walk must not allocate");
+}
+
+#[test]
+fn compute_shadow_fast_paths_are_allocation_free() {
+    let releases = [ProjectedRelease {
+        end: SimTime::from_secs(500),
+        nodes: 1_024,
+    }];
+    let n = count_allocs(|| {
+        for _ in 0..16 {
+            // Head fits now: early return before any sorting.
+            black_box(compute_shadow(512, 2_048, &releases).spare);
+            // No projected releases: head is blocked indefinitely.
+            black_box(compute_shadow(512, 0, &[]).time);
+        }
+    });
+    assert_eq!(n, 0, "compute_shadow fast paths must not allocate");
+}
+
+#[test]
+fn buddy_can_fit_is_allocation_free() {
+    let mut a = BuddyAllocator::new(40_960, 512);
+    let _held: Vec<_> = (0..10u64).filter_map(|i| a.alloc(512 << (i % 4))).collect();
+    let n = count_allocs(|| {
+        for _ in 0..64 {
+            let mut fits = 0u32;
+            for size in [512u64, 1_024, 4_096, 16_384, 32_768, 40_960] {
+                fits += a.can_fit(size) as u32;
+            }
+            black_box((fits, a.largest_fit(), a.free_nodes()));
+        }
+    });
+    assert_eq!(n, 0, "buddy admission checks must not allocate");
+}
+
+/// The full per-iteration scheduler path on a machine with a running job
+/// and a blocked head: `begin_iteration` + `pick_next` re-scores the
+/// queue (scratch reuse), walks the incrementally sorted release list
+/// for the head reservation, and probes the allocator — all without
+/// touching the heap once the reusable buffers are warm.
+#[test]
+fn machine_blocked_iteration_is_allocation_free_after_warmup() {
+    let mut config = MachineConfig::flat("m", MachineId(0), 100);
+    config.policy = PolicyKind::Wfp;
+    let mut machine = Machine::new(config);
+    let t0 = SimTime::ZERO;
+
+    // One running job holding most of the machine…
+    machine.submit(
+        Job::new(
+            JobId(0),
+            MachineId(0),
+            t0,
+            60,
+            SimDuration::from_secs(36_000),
+            SimDuration::from_secs(43_200),
+        ),
+        t0,
+    );
+    machine.begin_iteration();
+    let cand = machine
+        .pick_next(t0)
+        .expect("first job fits an empty machine");
+    machine.start(cand, t0);
+
+    // …and queued jobs too large to fit or backfill behind it.
+    for (i, size) in [(1u64, 80u64), (2, 90), (3, 95)] {
+        machine.submit(
+            Job::new(
+                JobId(i),
+                MachineId(0),
+                t0,
+                size,
+                SimDuration::from_secs(7_200),
+                SimDuration::from_secs(10_800),
+            ),
+            t0,
+        );
+    }
+
+    let now = SimTime::from_secs(60);
+    // Warm-up iteration sizes the order scratch and iteration buffers.
+    machine.begin_iteration();
+    assert!(machine.pick_next(now).is_none(), "queue must stay blocked");
+
+    let n = count_allocs(|| {
+        for _ in 0..16 {
+            machine.begin_iteration();
+            assert!(machine.pick_next(now).is_none());
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state blocked scheduling iteration must not allocate"
+    );
+}

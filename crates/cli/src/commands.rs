@@ -1,6 +1,7 @@
 //! Command implementations.
 
 use crate::args::Parsed;
+use cosched_bench::{bench_campaign, CampaignReport, Scale, SweepKind};
 use cosched_core::{
     CoschedConfig, CoupledConfig, CoupledSimulation, RunStats, Scheme, SchemeCombo,
 };
@@ -31,6 +32,7 @@ pub fn run_command(parsed: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         "pair" => cmd_pair(parsed, out),
         "simulate" => cmd_simulate(parsed, out),
         "analyze" => cmd_analyze(parsed, out),
+        "bench" => cmd_bench(parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -62,7 +64,11 @@ Trace analysis (over JSONL traces from `simulate --trace-out`):
   cosched analyze timeline  --trace <t.jsonl> [--width N] [--rows N] [--capacity N]
   cosched analyze attribute --trace <t.jsonl>
   cosched analyze diff      --a <t1.jsonl> --b <t2.jsonl>
-  cosched analyze export    --report <report.json> [--out <metrics.prom>]";
+  cosched analyze export    --report <report.json> [--out <metrics.prom>]
+
+Benchmarks:
+  cosched bench campaign [--scale <smoke|quick|full>] [--threads 1,2,4]
+                         [--sweep <load|prop|both>] [--out <BENCH_sim.json>]";
 
 fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.no_subcommand("generate")?;
@@ -189,6 +195,108 @@ fn cmd_analyze_export(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         None => {
             let _ = write!(out, "{text}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_bench(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    match p.subcommand.as_deref() {
+        Some("campaign") => cmd_bench_campaign(p, out),
+        Some(other) => Err(format!("unknown bench subcommand {other:?} (campaign)")),
+        None => Err("bench needs a subcommand (campaign)".to_string()),
+    }
+}
+
+/// The committed benchmark artifact: one record per sweep, plus enough
+/// host context to interpret the numbers later.
+#[derive(Debug, Clone, Serialize)]
+struct BenchSimFile {
+    /// Artifact schema marker.
+    bench: String,
+    /// Scale label the campaign ran at.
+    scale: String,
+    /// Hardware threads available on the host that produced the numbers.
+    hardware_threads: usize,
+    /// One report per sweep (`load`, `prop`).
+    campaigns: Vec<CampaignReport>,
+}
+
+/// Run the parallel campaign benchmark: every requested sweep at 1 thread
+/// (the reference) and each additional worker count, verifying the
+/// parallel runs are outcome-identical to serial and recording wall-clock,
+/// throughput, and one representative cell's phase profile.
+fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["scale", "threads", "sweep", "out"])?;
+    let scale_label = p.get("scale").unwrap_or("smoke");
+    let scale = match scale_label {
+        "smoke" => Scale::smoke(),
+        "quick" => Scale::quick(),
+        "full" => Scale::full(),
+        other => return Err(format!("unknown scale {other:?} (smoke|quick|full)")),
+    };
+    let threads: Vec<usize> = p
+        .get("threads")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad --threads entry {t:?} (positive integers)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let kinds: &[SweepKind] = match p.get("sweep").unwrap_or("both") {
+        "load" => &[SweepKind::Load],
+        "prop" => &[SweepKind::Proportion],
+        "both" => &[SweepKind::Load, SweepKind::Proportion],
+        other => return Err(format!("unknown sweep {other:?} (load|prop|both)")),
+    };
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut campaigns = Vec::new();
+    for &kind in kinds {
+        let _ = writeln!(
+            out,
+            "campaign {} (scale {scale_label}: {} days x {} seeds, {} hardware threads)",
+            kind.label(),
+            scale.days,
+            scale.seeds,
+            hardware_threads
+        );
+        let (_points, report) = bench_campaign(kind, scale, &threads);
+        for t in &report.timings {
+            let _ = writeln!(
+                out,
+                "  {:>2} thread(s): {:>8.2}s wall  {:>7.2} cells/s  speedup {:>5.2}x",
+                t.threads, t.wall_clock_secs, t.cells_per_sec, t.speedup_vs_serial
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  deterministic: {} ({} cells)",
+            report.deterministic, report.cells
+        );
+        if !report.deterministic {
+            return Err(format!(
+                "campaign {} parallel outcomes diverged from serial",
+                kind.label()
+            ));
+        }
+        campaigns.push(report);
+    }
+
+    if let Some(dest) = p.get("out") {
+        let file = BenchSimFile {
+            bench: "campaign".to_string(),
+            scale: scale_label.to_string(),
+            hardware_threads,
+            campaigns,
+        };
+        let json = serde_json::to_string_pretty(&file)
+            .map_err(|e| format!("cannot serialize benchmark report: {e}"))?;
+        std::fs::write(dest, json.as_bytes()).map_err(|e| format!("cannot write {dest}: {e}"))?;
+        let _ = writeln!(out, "wrote benchmark report to {dest}");
     }
     Ok(())
 }

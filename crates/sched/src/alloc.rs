@@ -153,6 +153,11 @@ pub struct BuddyAllocator {
     live: HashMap<u64, (u32, u64)>,
     next_id: u64,
     free_units: u64,
+    /// Bit `k` set ⇔ `free_blocks[k]` is non-empty. Lets [`Self::can_fit`]
+    /// and the carve search answer "any free block of order ≥ k?" in O(1)
+    /// instead of scanning the per-order lists. Maintained exclusively by
+    /// [`Self::list_insert`] / [`Self::list_remove_at`].
+    order_mask: u64,
 }
 
 impl BuddyAllocator {
@@ -176,8 +181,9 @@ impl BuddyAllocator {
             live: HashMap::new(),
             next_id: 0,
             free_units: padded,
+            order_mask: 0,
         };
-        alloc.free_blocks[max_order as usize].push(0);
+        alloc.list_insert(max_order, 0);
         // Permanently reserve the padding units (one unit at a time keeps
         // the real units maximally coalescible).
         for _ in total_units..padded {
@@ -203,27 +209,43 @@ impl BuddyAllocator {
         size.div_ceil(self.unit)
     }
 
+    /// File `block` in the order-`k` free list at its sorted position,
+    /// keeping the non-empty bitmask in step.
+    fn list_insert(&mut self, order: u32, block: u64) {
+        let list = &mut self.free_blocks[order as usize];
+        let pos = list.partition_point(|&b| b < block);
+        list.insert(pos, block);
+        self.order_mask |= 1 << order;
+    }
+
+    /// Take the block at `pos` out of the order-`k` free list, clearing the
+    /// bitmask bit if the list drains.
+    fn list_remove_at(&mut self, order: u32, pos: usize) -> u64 {
+        let list = &mut self.free_blocks[order as usize];
+        let block = list.remove(pos);
+        if list.is_empty() {
+            self.order_mask &= !(1 << order);
+        }
+        block
+    }
+
+    /// Smallest order ≥ `order` with a free block, from the bitmask (O(1)).
+    fn first_free_order(&self, order: u32) -> Option<u32> {
+        let above = self.order_mask >> order;
+        (above != 0).then(|| order + above.trailing_zeros())
+    }
+
     /// Split down from the smallest free block ≥ `order`, taking the
     /// lowest-addressed candidate (deterministic).
     fn carve(&mut self, order: u32) -> Option<u64> {
-        let mut k = order;
-        while (k as usize) < self.free_blocks.len() && self.free_blocks[k as usize].is_empty() {
-            k += 1;
-        }
-        if k as usize >= self.free_blocks.len() {
-            return None;
-        }
+        let mut k = self.first_free_order(order)?;
         // Lowest-address block of order k (lists kept sorted).
-        let idx = self.free_blocks[k as usize].remove(0);
-        let mut block = idx;
+        let mut block = self.list_remove_at(k, 0);
         while k > order {
             k -= 1;
             // Split: keep the low half, free the high half at order k.
             block *= 2;
-            let buddy = block + 1;
-            let list = &mut self.free_blocks[k as usize];
-            let pos = list.partition_point(|&b| b < buddy);
-            list.insert(pos, buddy);
+            self.list_insert(k, block + 1);
         }
         Some(block)
     }
@@ -242,23 +264,14 @@ impl BuddyAllocator {
     /// only to pin the padding at the top of the address space.
     fn alloc_units_highest(&mut self, units: u64) -> Option<AllocHandle> {
         let order = self.order_for_units(units)?;
-        let mut k = order;
-        while (k as usize) < self.free_blocks.len() && self.free_blocks[k as usize].is_empty() {
-            k += 1;
-        }
-        if k as usize >= self.free_blocks.len() {
-            return None;
-        }
-        let idx = self.free_blocks[k as usize].pop().expect("non-empty");
-        let mut block = idx;
+        let mut k = self.first_free_order(order)?;
+        let last = self.free_blocks[k as usize].len() - 1;
+        let mut block = self.list_remove_at(k, last);
         while k > order {
             k -= 1;
             // Keep the HIGH half, free the low half.
             block = block * 2 + 1;
-            let low = block - 1;
-            let list = &mut self.free_blocks[k as usize];
-            let pos = list.partition_point(|&b| b < low);
-            list.insert(pos, low);
+            self.list_insert(k, block - 1);
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -273,29 +286,25 @@ impl BuddyAllocator {
                 break;
             }
             let buddy = block ^ 1;
-            let list = &mut self.free_blocks[order as usize];
-            match list.binary_search(&buddy) {
+            match self.free_blocks[order as usize].binary_search(&buddy) {
                 Ok(pos) => {
-                    list.remove(pos);
+                    self.list_remove_at(order, pos);
                     block /= 2;
                     order += 1;
                 }
                 Err(_) => break,
             }
         }
-        let list = &mut self.free_blocks[order as usize];
-        let pos = list.partition_point(|&b| b < block);
-        list.insert(pos, block);
+        self.list_insert(order, block);
     }
 
     /// Largest request (in nodes) that could currently be satisfied.
     pub fn largest_fit(&self) -> u64 {
-        for k in (0..=self.max_order).rev() {
-            if !self.free_blocks[k as usize].is_empty() {
-                return (1u64 << k) * self.unit;
-            }
+        if self.order_mask == 0 {
+            return 0;
         }
-        0
+        let k = 63 - self.order_mask.leading_zeros();
+        (1u64 << k) * self.unit
     }
 }
 
@@ -312,9 +321,11 @@ impl NodeAllocator for BuddyAllocator {
         }
         let units = self.units_for_size(size);
         match self.order_for_units(units) {
-            Some(order) => {
-                (order..=self.max_order).any(|k| !self.free_blocks[k as usize].is_empty())
-            }
+            // O(1) fit check: a block of `order` takes 2^order units, so the
+            // raw free count rejects most misses immediately; otherwise the
+            // non-empty bitmask answers whether an aligned block of order
+            // ≥ `order` exists, with no per-order list scan.
+            Some(order) => (1u64 << order) <= self.free_units && (self.order_mask >> order) != 0,
             None => false,
         }
     }
@@ -499,6 +510,48 @@ mod tests {
         let b = AllocatorKind::Buddy { unit: 512 }.build(40_960);
         assert_eq!(b.capacity(), 40_960);
         assert_eq!(b.charged_nodes(33), 512);
+    }
+
+    #[test]
+    fn buddy_order_mask_tracks_free_lists() {
+        // The O(1) fit check is only sound if the bitmask mirrors the
+        // per-order lists through every split/coalesce path; drive a mixed
+        // workload and cross-check after each operation.
+        let check = |b: &BuddyAllocator| {
+            for k in 0..=b.max_order {
+                assert_eq!(
+                    b.order_mask >> k & 1 == 1,
+                    !b.free_blocks[k as usize].is_empty(),
+                    "mask bit {k} disagrees with list"
+                );
+            }
+            for size in [1u64, 512, 513, 1024, 4096, 8192] {
+                let scan = size <= b.capacity
+                    && b.order_for_units(b.units_for_size(size)).is_some_and(|o| {
+                        (o..=b.max_order).any(|k| !b.free_blocks[k as usize].is_empty())
+                    });
+                assert_eq!(b.can_fit(size), scan, "can_fit({size}) diverges from scan");
+            }
+        };
+        let mut b = BuddyAllocator::new(8192, 512);
+        check(&b);
+        let mut handles = Vec::new();
+        for i in 0..100u64 {
+            if i % 3 != 0 || handles.is_empty() {
+                if let Some(h) = b.alloc(512 << (i % 4)) {
+                    handles.push(h);
+                }
+            } else {
+                let h = handles.remove((i as usize * 5) % handles.len());
+                b.release(h);
+            }
+            check(&b);
+        }
+        for h in handles.drain(..) {
+            b.release(h);
+            check(&b);
+        }
+        assert_eq!(b.largest_fit(), 8192);
     }
 
     #[test]

@@ -45,19 +45,49 @@ pub struct Shadow {
 /// running job ends exactly at its walltime. Conservative with respect to
 /// partition fragmentation: a fit is declared when the *count* suffices,
 /// which is how Qsim models it too; the allocator re-checks at start time.
+///
+/// Sorts a copy of `releases` per call; the scheduler's steady-state path
+/// keeps its release list incrementally sorted and calls
+/// [`compute_shadow_sorted`] instead, which allocates nothing.
+#[inline]
 pub fn compute_shadow(head_size: u64, free_now: u64, releases: &[ProjectedRelease]) -> Shadow {
+    // Fast paths that skip building the sorted copy entirely: the head fits
+    // now (immediate reservation), or nothing will ever be released (held
+    // nodes block the head indefinitely; backfill is unconstrained).
     if head_size <= free_now {
-        // Head fits now; callers normally won't ask, but answer coherently:
-        // reservation is immediate and everything beyond it is spare.
         return Shadow {
             time: SimTime::ZERO,
             spare: free_now - head_size,
         };
     }
+    if releases.is_empty() {
+        return Shadow {
+            time: SimTime::MAX,
+            spare: u64::MAX,
+        };
+    }
     let mut sorted: Vec<ProjectedRelease> = releases.to_vec();
     sorted.sort_by_key(|r| (r.end, r.nodes));
+    compute_shadow_sorted(head_size, free_now, sorted.iter().copied())
+}
+
+/// [`compute_shadow`] over releases already sorted by `(end, nodes)`
+/// ascending. Allocation-free: the caller supplies the sorted sequence
+/// (typically an incrementally maintained list) and this walks it once.
+#[inline]
+pub fn compute_shadow_sorted(
+    head_size: u64,
+    free_now: u64,
+    releases: impl Iterator<Item = ProjectedRelease>,
+) -> Shadow {
+    if head_size <= free_now {
+        return Shadow {
+            time: SimTime::ZERO,
+            spare: free_now - head_size,
+        };
+    }
     let mut free = free_now;
-    for r in &sorted {
+    for r in releases {
         free += r.nodes;
         if free >= head_size {
             return Shadow {
@@ -134,6 +164,27 @@ mod tests {
         let s = compute_shadow(50, 0, &[rel(100, 25), rel(100, 25)]);
         assert_eq!(s.time, t(100));
         assert_eq!(s.spare, 0);
+    }
+
+    #[test]
+    fn sorted_variant_agrees_with_sorting_variant() {
+        let releases = [rel(300, 40), rel(100, 20), rel(200, 30), rel(100, 5)];
+        let mut sorted = releases.to_vec();
+        sorted.sort_by_key(|r| (r.end, r.nodes));
+        for head in [1u64, 30, 50, 80, 200] {
+            for free in [0u64, 10, 60] {
+                assert_eq!(
+                    compute_shadow(head, free, &releases),
+                    compute_shadow_sorted(head, free, sorted.iter().copied()),
+                    "head {head} free {free}"
+                );
+            }
+        }
+        // Empty-release fast path: unreachable shadow without allocation.
+        let s = compute_shadow(10, 0, &[]);
+        assert_eq!(s.time, SimTime::MAX);
+        assert_eq!(s.spare, u64::MAX);
+        assert_eq!(s, compute_shadow_sorted(10, 0, std::iter::empty()));
     }
 
     #[test]

@@ -26,8 +26,8 @@
 //! that code path.
 
 use crate::alloc::{AllocHandle, AllocatorKind, NodeAllocator};
-use crate::backfill::{compute_shadow, ProjectedRelease, Shadow};
-use crate::policy::{order_queue, PolicyKind};
+use crate::backfill::{compute_shadow_sorted, ProjectedRelease, Shadow};
+use crate::policy::{order_jobs_into, OrderScratch, PolicyKind, QueuedView};
 use crate::predict::{PredictorKind, WalltimePredictor};
 use cosched_metrics::JobRecord;
 use cosched_obs::trace::{AllocFailReason, TraceEvent};
@@ -164,7 +164,22 @@ struct JobState {
     charged: u64,
     hold_since: Option<SimTime>,
     demoted_at: Option<SimTime>,
+    /// Projected release instant (`start + planned runtime`) while the job
+    /// is running — the key under which it is filed in the machine's sorted
+    /// release list, kept so removal at finish needs no recomputation.
+    projected_end: Option<SimTime>,
     status: JobStatus,
+}
+
+/// One entry of the incrementally sorted projected-release list: a running
+/// job's estimated completion and the nodes it will return. Kept sorted by
+/// `(end, nodes)` so shadow computation walks it without cloning or
+/// sorting (the former per-call `to_vec` + sort dominated iteration cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReleaseEntry {
+    end: SimTime,
+    nodes: u64,
+    job: JobId,
 }
 
 /// The resource manager for one scheduling domain.
@@ -181,9 +196,21 @@ pub struct Machine {
     held_ledger: u64,
     predictor: Box<dyn WalltimePredictor>,
     predictions: HashMap<JobId, SimDuration>,
+    /// Projected releases of running jobs, kept sorted by `(end, nodes)`:
+    /// inserted when a job starts, removed when it finishes, walked in
+    /// place by [`Machine::shadow_for`] instead of rebuilding and sorting
+    /// a projection vector on every blocked-head pick.
+    releases: Vec<ReleaseEntry>,
+    /// Scratch for the (rare) shadow query that must re-rank overdue
+    /// releases; reused so the steady-state path allocates nothing.
+    shadow_scratch: Vec<ProjectedRelease>,
+    /// Reused buffers for policy ordering (scores, flags, permutation).
+    order_scratch: OrderScratch,
     /// Policy order computed lazily once per iteration (scores are fixed
-    /// within an iteration because `now` is fixed).
-    iter_order: Option<Vec<JobId>>,
+    /// within an iteration because `now` is fixed); the buffer is reused
+    /// across iterations, `iter_order_valid` gates staleness.
+    iter_order: Vec<JobId>,
+    iter_order_valid: bool,
     /// Walk position in `iter_order`. A cursor is semantically equivalent
     /// to rescanning from the top: a yield returns exactly the nodes it
     /// took for this pick, so a job that was blocked earlier in the walk
@@ -219,7 +246,11 @@ impl Machine {
             held_ledger: 0,
             predictor,
             predictions: HashMap::new(),
-            iter_order: None,
+            releases: Vec::new(),
+            shadow_scratch: Vec::new(),
+            order_scratch: OrderScratch::new(),
+            iter_order: Vec::new(),
+            iter_order_valid: false,
             iter_cursor: 0,
             iter_shadow: None,
             stats: SchedStats::default(),
@@ -280,6 +311,7 @@ impl Machine {
                 charged: 0,
                 hold_since: None,
                 demoted_at: None,
+                projected_end: None,
                 status: JobStatus::Queued,
             },
         );
@@ -296,7 +328,7 @@ impl Machine {
         );
         self.stats.iterations += 1;
         self.skip.clear();
-        self.iter_order = None;
+        self.iter_order_valid = false;
         self.iter_cursor = 0;
         self.iter_shadow = None;
     }
@@ -307,30 +339,32 @@ impl Machine {
     /// before picking again.
     pub fn pick_next(&mut self, now: SimTime) -> Option<Candidate> {
         assert!(self.pending.is_none(), "previous candidate not committed");
-        if self.iter_order.is_none() {
-            let views: Vec<(&Job, f64)> = self
-                .queued
-                .iter()
-                .map(|id| {
+        if !self.iter_order_valid {
+            let mut scratch = std::mem::take(&mut self.order_scratch);
+            let boost = self.config.yield_priority_boost;
+            order_jobs_into(
+                self.config.policy,
+                now,
+                self.queued.iter().map(|id| {
                     let st = &self.states[id];
-                    (&st.job, st.yields as f64 * self.config.yield_priority_boost)
-                })
-                .collect();
-            let demoted_ids: HashSet<JobId> = self
-                .queued
-                .iter()
-                .filter(|id| self.states[id].demoted_at == Some(now))
-                .copied()
-                .collect();
-            let order = order_queue(self.config.policy, now, &views, &|j| {
-                demoted_ids.contains(&j.id)
-            });
-            self.iter_order = Some(order.into_iter().map(|idx| self.queued[idx]).collect());
+                    (
+                        &st.job,
+                        st.yields as f64 * boost,
+                        st.demoted_at == Some(now),
+                    )
+                }),
+                &mut scratch,
+            );
+            self.iter_order.clear();
+            self.iter_order
+                .extend(scratch.order().iter().map(|&idx| self.queued[idx]));
+            self.order_scratch = scratch;
+            self.iter_order_valid = true;
             self.iter_cursor = 0;
             self.iter_shadow = None;
         }
-        while self.iter_cursor < self.iter_order.as_ref().expect("set above").len() {
-            let id = self.iter_order.as_ref().expect("set above")[self.iter_cursor];
+        while self.iter_cursor < self.iter_order.len() {
+            let id = self.iter_order[self.iter_cursor];
             self.iter_cursor += 1;
             if self.skip.contains(&id)
                 || self.states.get(&id).map(|st| st.status) != Some(JobStatus::Queued)
@@ -414,25 +448,49 @@ impl Machine {
             .unwrap_or_else(|| self.states[&id].job.walltime)
     }
 
-    fn shadow_for(&mut self, head_id: JobId, head_size: u64, now: SimTime) -> Shadow {
-        let releases: Vec<ProjectedRelease> = self
-            .running
-            .iter()
-            .map(|id| {
-                let st = &self.states[id];
-                ProjectedRelease {
-                    // Plan against the predicted runtime, never shorter
-                    // than what the job has already consumed plus a beat.
-                    end: (st.start.expect("running implies started")
-                        + self.predictions.get(id).copied().unwrap_or(st.job.walltime))
-                    .max(now + cosched_sim::SECOND),
-                    nodes: st.charged,
+    /// The queued job a scheduling iteration at `now` would consider first
+    /// — the unique minimum under the policy comparator (demotion, then
+    /// descending score, then `(submit, id)`). One O(n) scan; equivalent to
+    /// sorting and taking the front, without materialising the order.
+    fn policy_head(&self, now: SimTime) -> Option<JobId> {
+        let boost = self.config.yield_priority_boost;
+        let mut best: Option<(bool, f64, SimTime, JobId)> = None;
+        for id in &self.queued {
+            let st = &self.states[id];
+            let key = (
+                st.demoted_at == Some(now),
+                self.config.policy.score(QueuedView {
+                    job: &st.job,
+                    now,
+                    boost: st.yields as f64 * boost,
+                }),
+                st.job.submit,
+                st.job.id,
+            );
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    key.0
+                        .cmp(&b.0)
+                        .then_with(|| b.1.partial_cmp(&key.1).expect("scores are finite"))
+                        .then_with(|| key.2.cmp(&b.2))
+                        .then_with(|| key.3.cmp(&b.3))
+                        == std::cmp::Ordering::Less
                 }
-            })
-            .collect();
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        best.map(|b| b.3)
+    }
+
+    fn shadow_for(&mut self, head_id: JobId, head_size: u64, now: SimTime) -> Shadow {
         let charged = self.allocator.charged_nodes(head_size);
         let free = self.allocator.free_nodes();
-        let shadow = compute_shadow(charged, free, &releases);
+        // Plan against the predicted runtimes in `self.releases`, never
+        // shorter than what a job has already consumed plus a beat.
+        let clamp = now + cosched_sim::SECOND;
         if charged <= free {
             // The head job fits by count but not by partition alignment
             // (fragmentation). A count-based reservation is meaningless
@@ -461,13 +519,74 @@ impl Machine {
                     free_nodes: free,
                 });
             }
-            let next_end = releases.iter().map(|r| r.end).min().unwrap_or(SimTime::MAX);
+            let next_end = self
+                .releases
+                .first()
+                .map_or(SimTime::MAX, |r| r.end.max(clamp));
             return Shadow {
                 time: next_end,
                 spare: 0,
             };
         }
-        shadow
+        // Head blocked by node count: walk the incrementally sorted release
+        // list. Overdue entries (projected end at or before `clamp` — a job
+        // outliving its estimate) clamp to `clamp` and must be re-ranked by
+        // nodes so the walk visits releases in exactly the `(end, nodes)`
+        // order the sort-per-call path used to produce.
+        let split = self.releases.partition_point(|r| r.end <= clamp);
+        if split == 0 {
+            compute_shadow_sorted(
+                charged,
+                free,
+                self.releases.iter().map(|r| ProjectedRelease {
+                    end: r.end,
+                    nodes: r.nodes,
+                }),
+            )
+        } else {
+            self.shadow_scratch.clear();
+            self.shadow_scratch
+                .extend(self.releases[..split].iter().map(|r| ProjectedRelease {
+                    end: clamp,
+                    nodes: r.nodes,
+                }));
+            self.shadow_scratch.sort_unstable_by_key(|r| r.nodes);
+            compute_shadow_sorted(
+                charged,
+                free,
+                self.shadow_scratch
+                    .iter()
+                    .copied()
+                    .chain(self.releases[split..].iter().map(|r| ProjectedRelease {
+                        end: r.end,
+                        nodes: r.nodes,
+                    })),
+            )
+        }
+    }
+
+    /// File a release projection for a job that just started: estimated end
+    /// (start + planned runtime) and the nodes it will return, inserted at
+    /// its `(end, nodes)` rank so the list stays sorted.
+    fn insert_release(&mut self, job: JobId, end: SimTime, nodes: u64) {
+        let pos = self
+            .releases
+            .partition_point(|r| (r.end, r.nodes) <= (end, nodes));
+        self.releases.insert(pos, ReleaseEntry { end, nodes, job });
+    }
+
+    /// Drop the release projection of a finishing job. Binary-searches to
+    /// the entry's `(end, nodes)` rank, then scans the (few) equal-key
+    /// entries for the matching id.
+    fn remove_release(&mut self, job: JobId, end: SimTime, nodes: u64) {
+        let from = self
+            .releases
+            .partition_point(|r| (r.end, r.nodes) < (end, nodes));
+        let off = self.releases[from..]
+            .iter()
+            .position(|r| r.job == job)
+            .expect("running job has a release entry");
+        self.releases.remove(from + off);
     }
 
     fn commit_check(&mut self, cand: &Candidate) {
@@ -484,14 +603,19 @@ impl Machine {
     /// caller to schedule the end event.
     pub fn start(&mut self, cand: Candidate, now: SimTime) -> SimTime {
         self.commit_check(&cand);
+        let projected = now + self.planned_runtime(cand.job_id);
         let st = self
             .states
             .get_mut(&cand.job_id)
             .expect("candidate has state");
         st.start = Some(now);
         st.status = JobStatus::Running;
+        st.projected_end = Some(projected);
+        let nodes = st.charged;
+        let end = now + st.job.runtime;
         self.running.push(cand.job_id);
-        now + st.job.runtime
+        self.insert_release(cand.job_id, projected, nodes);
+        end
     }
 
     /// Put a ready candidate into hold: it keeps its allocation, blocking
@@ -531,13 +655,18 @@ impl Machine {
     pub fn start_held(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
         let pos = self.held.iter().position(|&h| h == id)?;
         self.held.remove(pos);
+        let projected = now + self.planned_runtime(id);
         let st = self.states.get_mut(&id).expect("held job has state");
         let since = st.hold_since.take().expect("held job has hold_since");
         self.held_ledger += st.charged * (now - since).as_secs();
         st.start = Some(now);
         st.status = JobStatus::Running;
+        st.projected_end = Some(projected);
+        let nodes = st.charged;
+        let end = now + st.job.runtime;
         self.running.push(id);
-        Some(now + st.job.runtime)
+        self.insert_release(id, projected, nodes);
+        Some(end)
     }
 
     /// Force a held job to release its nodes and requeue (the §IV-E1
@@ -573,15 +702,18 @@ impl Machine {
         let pos = self.queued.iter().position(|&q| q == id)?;
         let handle = self.admit_direct(id, now)?;
         let charged = self.allocator.charged_nodes(self.states[&id].job.size);
+        let projected = now + self.planned_runtime(id);
         let st = self.states.get_mut(&id).expect("queued job has state");
         st.alloc = Some(handle);
         st.charged = charged;
         st.first_ready.get_or_insert(now);
         st.start = Some(now);
         st.status = JobStatus::Running;
+        st.projected_end = Some(projected);
         let end = now + st.job.runtime;
         self.queued.remove(pos);
         self.running.push(id);
+        self.insert_release(id, projected, charged);
         Some(end)
     }
 
@@ -616,24 +748,7 @@ impl Machine {
             return None;
         }
         // Identify the policy head among queued jobs.
-        let views: Vec<(&Job, f64)> = self
-            .queued
-            .iter()
-            .map(|qid| {
-                let st = &self.states[qid];
-                (&st.job, st.yields as f64 * self.config.yield_priority_boost)
-            })
-            .collect();
-        let demoted_ids: std::collections::HashSet<JobId> = self
-            .queued
-            .iter()
-            .filter(|qid| self.states[qid].demoted_at == Some(now))
-            .copied()
-            .collect();
-        let order = order_queue(self.config.policy, now, &views, &|j| {
-            demoted_ids.contains(&j.id)
-        });
-        let head = self.queued[order[0]];
+        let head = self.policy_head(now).expect("queue holds at least `id`");
 
         let handle = if head == id {
             self.allocator.alloc(size).expect("can_fit implies alloc")
@@ -684,8 +799,15 @@ impl Machine {
         self.allocator.release(handle);
         st.status = JobStatus::Finished;
         let start = st.start.expect("running implies started");
+        let projected = st
+            .projected_end
+            .take()
+            .expect("running job has a projected end");
+        let nodes = st.charged;
         self.predictor.observe(&st.job, st.job.runtime);
         self.predictions.remove(&id);
+        self.remove_release(id, projected, nodes);
+        let st = self.states.get_mut(&id).expect("running job has state");
         self.finished.push(JobRecord {
             id,
             machine: self.config.machine,

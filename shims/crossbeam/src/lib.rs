@@ -1,28 +1,84 @@
 //! Minimal offline stand-in for `crossbeam`: the `channel` module, backed
-//! by `std::sync::mpsc` bounded (sync) channels. Covers the send / recv /
-//! recv_timeout surface the proto crate's in-process transport uses.
+//! by `std::sync::mpsc` channels, and the `thread` module's scoped-thread
+//! surface, backed by `std::thread::scope`. Covers the send / recv /
+//! recv_timeout surface the proto crate's in-process transport uses, plus
+//! the shared-receiver (MPMC) and scoped-spawn surface the bench crate's
+//! campaign worker pool uses.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
     use std::time::Duration;
 
     /// Bounded channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (
+            Sender(SenderInner::Bounded(tx)),
+            Receiver::new(RxKind::Bounded(rx)),
+        )
+    }
+
+    /// Unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(SenderInner::Unbounded(tx)),
+            Receiver::new(RxKind::Unbounded(rx)),
+        )
     }
 
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    enum SenderInner<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    #[derive(Debug)]
+    pub struct Sender<T>(SenderInner<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            })
         }
     }
 
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    enum RxKind<T> {
+        Bounded(mpsc::Receiver<T>),
+        Unbounded(mpsc::Receiver<T>),
+    }
+
+    impl<T> RxKind<T> {
+        fn as_ref(&self) -> &mpsc::Receiver<T> {
+            match self {
+                RxKind::Bounded(rx) | RxKind::Unbounded(rx) => rx,
+            }
+        }
+    }
+
+    /// Receiver handle. Cloneable (crossbeam channels are MPMC): clones
+    /// share one underlying queue behind a mutex, so each message is
+    /// delivered to exactly one receiver. A blocking [`Receiver::recv`]
+    /// holds the shared lock while it waits; multi-consumer users should
+    /// either pre-fill the queue and drop the senders (the campaign pool's
+    /// pattern — `recv` then never blocks) or use [`Receiver::try_recv`].
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<RxKind<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn new(rx: RxKind<T>) -> Self {
+            Receiver(Arc::new(Mutex::new(rx)))
+        }
+    }
 
     /// Send failed because the receiver disconnected; returns the message.
     #[derive(Debug)]
@@ -62,26 +118,34 @@ pub mod channel {
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                SenderInner::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
         }
     }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let guard = self.0.lock().expect("receiver lock poisoned");
+            guard.as_ref().recv().map_err(|_| RecvError)
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
+            let guard = self.0.lock().expect("receiver lock poisoned");
+            guard.as_ref().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
 
         pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
-            self.0.try_recv().map_err(|e| match e {
+            let guard = self.0.lock().expect("receiver lock poisoned");
+            guard.as_ref().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
                 mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
             })
@@ -107,6 +171,131 @@ pub mod channel {
             drop(tx);
             let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
             assert_eq!(err, RecvTimeoutError::Disconnected);
+        }
+
+        #[test]
+        fn unbounded_accepts_without_blocking() {
+            let (tx, rx) = unbounded();
+            for i in 0..10_000u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut n = 0;
+            while let Ok(v) = rx.recv() {
+                assert_eq!(v, n);
+                n += 1;
+            }
+            assert_eq!(n, 10_000);
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let mut seen = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                seen.push(v);
+                match rx2.try_recv() {
+                    Ok(v) => seen.push(v),
+                    Err(_) => break,
+                }
+            }
+            // Every message delivered exactly once, in order.
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads: `crossbeam::thread::scope(|s| { s.spawn(…); })`,
+    //! backed by `std::thread::scope`. Child panics surface as the `Err`
+    //! variant of the returned [`std::thread::Result`], as upstream does.
+    //!
+    //! Divergence from upstream: spawn closures take no argument (std
+    //! style) instead of re-receiving the scope — the borrow rules of
+    //! `std::thread::Scope` cannot express upstream's re-entrant handle
+    //! without `unsafe`, and nothing in this workspace nests spawns.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; spawned threads may borrow from the enclosing stack
+    /// frame and are all joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing the environment can
+    /// be spawned; joins them all before returning. Returns `Err` with the
+    /// first panic payload if any unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicU64::new(0);
+            let counter = &counter;
+            let total = scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move || {
+                            counter.fetch_add(i, Ordering::SeqCst);
+                            i
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 6);
+            assert_eq!(counter.load(Ordering::SeqCst), 6);
+        }
+
+        #[test]
+        fn child_panic_surfaces_as_err() {
+            let result = scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+            assert!(result.is_err());
         }
     }
 }
