@@ -5,7 +5,7 @@
 use cosched_bench::{figures, harness, Scale};
 use cosched_core::{CoupledSimulation, SchemeCombo};
 use cosched_obs::{SinkObserver, VecSink};
-use cosched_trace::{AttributionReport, LifecycleSet};
+use cosched_trace::{AttributionReport, CriticalPathReport, LifecycleSet};
 
 fn main() {
     let scale = Scale::from_env();
@@ -63,6 +63,14 @@ fn main() {
     match LifecycleSet::from_records(records) {
         Ok(set) => print!("\n{}", AttributionReport::from_lifecycles(&set)),
         Err(e) => eprintln!("trace reconstruction failed: {e}"),
+    }
+    match CriticalPathReport::from_records(records) {
+        Ok(cp) => {
+            println!("rendezvous critical paths (per scheme combo):");
+            print!("{cp}");
+            println!();
+        }
+        Err(e) => eprintln!("critical-path reconstruction failed: {e}"),
     }
     println!("wall-clock profile:");
     for ph in &arts.profile {

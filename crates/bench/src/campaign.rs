@@ -30,7 +30,7 @@ use crate::harness::{
 };
 use cosched_core::{CoupledConfig, CoupledSimulation, SchemeCombo};
 use cosched_obs::PhaseSnapshot;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Which sweep a campaign covers.
@@ -209,7 +209,7 @@ pub fn parallel_prop_sweep(scale: Scale, threads: usize) -> PropSweep {
 }
 
 /// One timed execution of the cell set at a given worker count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignTiming {
     /// Worker threads used.
     pub threads: usize,
@@ -224,7 +224,7 @@ pub struct CampaignTiming {
 /// Machine-readable benchmark record of one campaign — the unit committed
 /// to `BENCH_sim.json` so later changes have a perf trajectory to regress
 /// against.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Sweep name (`"load"` / `"prop"`).
     pub sweep: String,
@@ -290,6 +290,62 @@ pub fn bench_campaign(
         phase_profile,
     };
     (assemble_points(kind, scale, &serial), report)
+}
+
+/// Compare a freshly measured campaign against a committed baseline.
+///
+/// Hard failures:
+/// * the current run was **not deterministic** (a parallel pass diverged
+///   from serial) — never tolerated, whatever the timing;
+/// * the sweeps are not comparable (different sweep name or cell count);
+/// * either report lacks a serial (1-thread) timing;
+/// * the serial wall-clock regressed beyond `tolerance` × baseline.
+///
+/// On success returns the serial wall-clock ratio (current / baseline) for
+/// reporting. Wall-clock is compared with a generous tolerance because CI
+/// hosts are noisy and heterogeneous; determinism is compared exactly.
+pub fn check_campaign(
+    baseline: &CampaignReport,
+    current: &CampaignReport,
+    tolerance: f64,
+) -> Result<f64, String> {
+    if !current.deterministic {
+        return Err(format!(
+            "campaign {}: parallel outcomes diverged from serial (determinism regression)",
+            current.sweep
+        ));
+    }
+    if baseline.sweep != current.sweep {
+        return Err(format!(
+            "sweep mismatch: baseline is {:?}, current is {:?}",
+            baseline.sweep, current.sweep
+        ));
+    }
+    if baseline.cells != current.cells {
+        return Err(format!(
+            "campaign {}: cell count changed ({} baseline vs {} current) — \
+             regenerate the baseline at this scale",
+            current.sweep, baseline.cells, current.cells
+        ));
+    }
+    let serial_secs = |r: &CampaignReport| {
+        r.timings
+            .iter()
+            .find(|t| t.threads == 1)
+            .map(|t| t.wall_clock_secs)
+            .ok_or_else(|| format!("campaign {}: no serial (1-thread) timing", r.sweep))
+    };
+    let base = serial_secs(baseline)?;
+    let cur = serial_secs(current)?;
+    let ratio = cur / base.max(1e-9);
+    if ratio > tolerance {
+        return Err(format!(
+            "campaign {}: serial wall-clock regressed {ratio:.2}x over baseline \
+             ({cur:.2}s vs {base:.2}s, tolerance {tolerance:.1}x)",
+            current.sweep
+        ));
+    }
+    Ok(ratio)
 }
 
 /// Wall-clock phase profile of one cell, run traced.
@@ -361,5 +417,66 @@ mod tests {
     fn zero_workers_rejected() {
         let cells = sweep_cells(SweepKind::Load, tiny());
         let _ = run_cells(&cells, 0);
+    }
+
+    fn report(sweep: &str, cells: usize, serial_secs: f64, deterministic: bool) -> CampaignReport {
+        CampaignReport {
+            sweep: sweep.to_string(),
+            days: 2,
+            seeds: 2,
+            cells,
+            timings: vec![CampaignTiming {
+                threads: 1,
+                wall_clock_secs: serial_secs,
+                cells_per_sec: cells as f64 / serial_secs.max(1e-9),
+                speedup_vs_serial: 1.0,
+            }],
+            deterministic,
+            phase_profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_reports_ratio() {
+        let base = report("load", 10, 2.0, true);
+        let cur = report("load", 10, 4.0, true);
+        let ratio = check_campaign(&base, &cur, 3.0).unwrap();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_fails_on_wall_clock_regression() {
+        let base = report("load", 10, 1.0, true);
+        let cur = report("load", 10, 5.0, true);
+        let err = check_campaign(&base, &cur, 3.0).unwrap_err();
+        assert!(err.contains("regressed 5.00x"), "{err}");
+    }
+
+    #[test]
+    fn check_hard_fails_on_determinism_even_when_fast() {
+        let base = report("load", 10, 2.0, true);
+        let cur = report("load", 10, 0.5, false);
+        let err = check_campaign(&base, &cur, 3.0).unwrap_err();
+        assert!(err.contains("determinism regression"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_incomparable_reports() {
+        let base = report("load", 10, 2.0, true);
+        let err = check_campaign(&base, &report("prop", 10, 2.0, true), 3.0).unwrap_err();
+        assert!(err.contains("sweep mismatch"), "{err}");
+        let err = check_campaign(&base, &report("load", 20, 2.0, true), 3.0).unwrap_err();
+        assert!(err.contains("cell count changed"), "{err}");
+    }
+
+    #[test]
+    fn campaign_report_roundtrips_through_json() {
+        let base = report("load", 10, 2.0, true);
+        let json = serde_json::to_string(&base).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sweep, "load");
+        assert_eq!(back.cells, 10);
+        assert_eq!(back.timings.len(), 1);
+        assert!(back.deterministic);
     }
 }

@@ -16,7 +16,7 @@ pub mod figures;
 pub mod harness;
 
 pub use campaign::{
-    bench_campaign, parallel_load_sweep, parallel_prop_sweep, CampaignCell, CampaignReport,
-    CampaignTiming, SweepKind,
+    bench_campaign, check_campaign, parallel_load_sweep, parallel_prop_sweep, CampaignCell,
+    CampaignReport, CampaignTiming, SweepKind,
 };
 pub use harness::{CaseResult, LoadSweep, PropSweep, Scale, SeedOutcome};

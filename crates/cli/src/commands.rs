@@ -61,14 +61,17 @@ USAGE:
                    [--trace-out <trace.jsonl>] [--metrics]
 
 Trace analysis (over JSONL traces from `simulate --trace-out`):
-  cosched analyze timeline  --trace <t.jsonl> [--width N] [--rows N] [--capacity N]
-  cosched analyze attribute --trace <t.jsonl>
-  cosched analyze diff      --a <t1.jsonl> --b <t2.jsonl>
+  cosched analyze timeline      --trace <t.jsonl> [--width N] [--rows N] [--capacity N]
+  cosched analyze attribute     --trace <t.jsonl>
+  cosched analyze critical-path --trace <t.jsonl>
+  cosched analyze diff          --a <t1.jsonl> --b <t2.jsonl>
   cosched analyze export    --report <report.json> [--out <metrics.prom>]
+  cosched analyze export    --format perfetto --trace <t.jsonl> [--out <t.json>]
 
 Benchmarks:
   cosched bench campaign [--scale <smoke|quick|full>] [--threads 1,2,4]
-                         [--sweep <load|prop|both>] [--out <BENCH_sim.json>]";
+                         [--sweep <load|prop|both>] [--out <BENCH_sim.json>]
+                         [--check <BENCH_sim.json>] [--tolerance X]";
 
 fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.no_subcommand("generate")?;
@@ -108,10 +111,12 @@ fn cmd_analyze(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         None => cmd_analyze_swf(p, out),
         Some("timeline") => cmd_analyze_timeline(p, out),
         Some("attribute") => cmd_analyze_attribute(p, out),
+        Some("critical-path") => cmd_analyze_critical(p, out),
         Some("diff") => cmd_analyze_diff(p, out),
         Some("export") => cmd_analyze_export(p, out),
         Some(other) => Err(format!(
-            "unknown analyze subcommand {other:?} (timeline|attribute|diff|export, \
+            "unknown analyze subcommand {other:?} \
+             (timeline|attribute|critical-path|diff|export, \
              or none for SWF workload stats)"
         )),
     }
@@ -161,6 +166,29 @@ fn cmd_analyze_attribute(p: &Parsed, out: &mut dyn Write) -> Result<(), String> 
     Ok(())
 }
 
+fn cmd_analyze_critical(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["trace"])?;
+    let path = p.require("trace")?;
+    let records = read_trace_file(path)?;
+    let report = cosched_trace::CriticalPathReport::from_records(&records)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "critical paths of {path} ({} completed pair(s), {} unfinished)",
+        report.pairs.len(),
+        report.unfinished
+    );
+    if report.pairs.is_empty() && report.unfinished == 0 {
+        let _ = writeln!(
+            out,
+            "no pair spans in this trace — record it with `simulate --trace-out`"
+        );
+        return Ok(());
+    }
+    let _ = write!(out, "{report}");
+    Ok(())
+}
+
 fn cmd_analyze_diff(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.allow_only(&["a", "b"])?;
     let a = load_lifecycles(p.require("a")?)?;
@@ -171,7 +199,39 @@ fn cmd_analyze_diff(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn cmd_analyze_export(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
-    p.allow_only(&["report", "out"])?;
+    p.allow_only(&["report", "out", "format", "trace"])?;
+    match p.get("format").unwrap_or("prom") {
+        "prom" => cmd_analyze_export_prom(p, out),
+        "perfetto" => cmd_analyze_export_perfetto(p, out),
+        other => Err(format!("unknown export format {other:?} (prom|perfetto)")),
+    }
+}
+
+/// Export a JSONL trace as Chrome trace-event JSON for Perfetto.
+fn cmd_analyze_export_perfetto(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    let path = p.require("trace")?;
+    let records = read_trace_file(path)?;
+    let json = cosched_trace::render_perfetto(&records)
+        .map_err(|e| format!("{path}: malformed span records: {e}"))?;
+    match p.get("out") {
+        Some(dest) => {
+            std::fs::write(dest, &json).map_err(|e| format!("cannot write {dest}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "wrote {} bytes of trace-event JSON to {dest} \
+                 (load in ui.perfetto.dev or chrome://tracing)",
+                json.len()
+            );
+        }
+        None => {
+            let _ = write!(out, "{json}");
+        }
+    }
+    Ok(())
+}
+
+/// Export a simulation report's metrics registry as Prometheus text.
+fn cmd_analyze_export_prom(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     let path = p.require("report")?;
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let value: serde_json::Value =
@@ -209,7 +269,7 @@ fn cmd_bench(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
 
 /// The committed benchmark artifact: one record per sweep, plus enough
 /// host context to interpret the numbers later.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchSimFile {
     /// Artifact schema marker.
     bench: String,
@@ -226,7 +286,7 @@ struct BenchSimFile {
 /// parallel runs are outcome-identical to serial and recording wall-clock,
 /// throughput, and one representative cell's phase profile.
 fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
-    p.allow_only(&["scale", "threads", "sweep", "out"])?;
+    p.allow_only(&["scale", "threads", "sweep", "out", "check", "tolerance"])?;
     let scale_label = p.get("scale").unwrap_or("smoke");
     let scale = match scale_label {
         "smoke" => Scale::smoke(),
@@ -284,6 +344,45 @@ fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
             ));
         }
         campaigns.push(report);
+    }
+
+    // Regression gate: compare against a committed baseline artifact.
+    // Wall-clock is tolerance-based (CI hosts are noisy); a determinism
+    // mismatch is a hard failure regardless of timing.
+    if let Some(baseline_path) = p.get("check") {
+        let tolerance: f64 = p.get_or("tolerance", 3.0)?;
+        if tolerance <= 0.0 {
+            return Err(format!("bad --tolerance {tolerance} (must be positive)"));
+        }
+        let raw = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let baseline: BenchSimFile =
+            serde_json::from_str(&raw).map_err(|e| format!("bad baseline {baseline_path}: {e}"))?;
+        if baseline.scale != scale_label {
+            return Err(format!(
+                "baseline {baseline_path} was recorded at scale {:?} but this run is {scale_label:?} \
+                 — rerun with --scale {} or regenerate the baseline",
+                baseline.scale, baseline.scale
+            ));
+        }
+        for current in &campaigns {
+            let base = baseline
+                .campaigns
+                .iter()
+                .find(|c| c.sweep == current.sweep)
+                .ok_or_else(|| {
+                    format!(
+                        "baseline {baseline_path} has no {:?} sweep — regenerate it with --sweep both",
+                        current.sweep
+                    )
+                })?;
+            let ratio = cosched_bench::check_campaign(base, current, tolerance)?;
+            let _ = writeln!(
+                out,
+                "  check {}: serial wall-clock {ratio:.2}x of baseline (tolerance {tolerance:.1}x) — ok",
+                current.sweep
+            );
+        }
     }
 
     if let Some(dest) = p.get("out") {
@@ -807,6 +906,71 @@ mod tests {
         assert!(std::fs::read_to_string(&dest)
             .unwrap()
             .contains("cosched_holds"));
+    }
+
+    #[test]
+    fn analyze_critical_path_prints_combo_table() {
+        let (trace, _, _) = pipeline_artifacts("crit");
+        let out = run(&format!("analyze critical-path --trace {trace}")).unwrap();
+        assert!(out.contains("critical paths of"), "{out}");
+        assert!(out.contains("combo"), "{out}");
+        assert!(out.contains("local-queue"), "{out}");
+        // The HY pipeline runs at least one pair to a synchronized start.
+        assert!(
+            out.contains("HY") || out.contains("completed pair"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn analyze_export_perfetto_writes_trace_event_json() {
+        let (trace, _, _) = pipeline_artifacts("perf");
+        let dest = tmp("perf_out.json");
+        let out = run(&format!(
+            "analyze export --format perfetto --trace {trace} --out {dest}"
+        ))
+        .unwrap();
+        assert!(out.contains("trace-event JSON"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&dest).unwrap()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        // Cross-machine flow arrows exist for RPC spans.
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(serde_json::Value::as_str))
+            .collect();
+        assert!(phases.contains(&"s"), "{phases:?}");
+        assert!(phases.contains(&"f"), "{phases:?}");
+        assert!(phases.contains(&"X"), "{phases:?}");
+    }
+
+    #[test]
+    fn analyze_export_rejects_unknown_format() {
+        let err = run("analyze export --format svg --trace x.jsonl").unwrap_err();
+        assert!(err.contains("unknown export format"), "{err}");
+    }
+
+    #[test]
+    fn bench_campaign_check_gates_against_baseline() {
+        let baseline = tmp("check_baseline.json");
+        run(&format!(
+            "bench campaign --scale smoke --threads 1 --sweep load --out {baseline}"
+        ))
+        .unwrap();
+        // Same scale re-run against its own baseline passes with a
+        // generous tolerance.
+        let out = run(&format!(
+            "bench campaign --scale smoke --threads 1 --sweep load --check {baseline} --tolerance 25"
+        ))
+        .unwrap();
+        assert!(out.contains("— ok"), "{out}");
+        // A scale mismatch is an error, not a silent pass.
+        let err = run(&format!(
+            "bench campaign --scale quick --threads 1 --sweep load --check {baseline}"
+        ))
+        .unwrap_err();
+        assert!(err.contains("scale"), "{err}");
     }
 
     #[test]

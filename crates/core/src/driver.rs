@@ -27,7 +27,7 @@ use cosched_obs::metrics::HistogramSnapshot;
 use cosched_obs::trace::RpcKind;
 use cosched_obs::{
     Histogram, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer, Phase, PhaseProfiler,
-    PhaseSnapshot, TraceEvent,
+    PhaseSnapshot, SpanKind, TraceEvent, GLOBAL, NO_JOB, NO_SPAN,
 };
 use cosched_proto::{MateStatus, ProtoError, Request, Response};
 use cosched_sched::{JobStatus, Machine, SchedStats};
@@ -160,6 +160,31 @@ impl SimulationReport {
     }
 }
 
+/// Open-span bookkeeping for causal tracing. Span ids are dense and
+/// assigned in emission order from deterministic state only, so same-seed
+/// runs produce byte-identical span records. Populated only while the
+/// observer is active; with the no-op observer every map stays empty.
+#[derive(Debug, Default)]
+struct SpanBook {
+    /// Last span id handed out (ids start at 1; 0 is [`NO_SPAN`]).
+    next: u64,
+    /// Pair root spans keyed by (machine-0 member id, machine-1 member id).
+    pair_root: HashMap<(u64, u64), u64>,
+    /// Which members of each open pair span have started.
+    pair_started: HashMap<(u64, u64), [bool; 2]>,
+    /// Open hold spans keyed by (machine, job).
+    hold: HashMap<(usize, u64), u64>,
+    /// Open yield-episode spans keyed by (machine, job).
+    yielding: HashMap<(usize, u64), u64>,
+}
+
+impl SpanBook {
+    fn alloc(&mut self) -> u64 {
+        self.next += 1;
+        self.next
+    }
+}
+
 /// The coupled simulator: two machines, one event loop, protocol-mediated
 /// coordination.
 ///
@@ -199,6 +224,8 @@ pub struct CoupledSimulation<O: Observer = NoopObserver> {
     profiler: PhaseProfiler,
     /// Wall-clock in-process RPC latency; never folded into the report.
     rpc_latency: Histogram,
+    /// Causal-span bookkeeping; empty unless the observer is active.
+    spans: SpanBook,
     observer: O,
 }
 
@@ -258,6 +285,7 @@ impl<O: Observer> CoupledSimulation<O> {
             stats: RunStats::default(),
             profiler: PhaseProfiler::new(),
             rpc_latency: Histogram::new(),
+            spans: SpanBook::default(),
             observer,
         }
     }
@@ -292,6 +320,88 @@ impl<O: Observer> CoupledSimulation<O> {
         }
         for ev in self.machines[m].take_trace() {
             self.observer.record(self.now.as_secs(), m, ev);
+        }
+    }
+
+    /// Canonical pair key for a paired job on machine `m`:
+    /// (machine-0 member id, machine-1 member id).
+    fn pair_key(&self, m: usize, job: &Job) -> Option<(u64, u64)> {
+        let mate = job.mate.as_ref()?;
+        Some(if m == 0 {
+            (job.id.0, mate.job.0)
+        } else {
+            (mate.job.0, job.id.0)
+        })
+    }
+
+    /// Open the pair's root span at the first submit of either member. The
+    /// span belongs to no single machine ([`GLOBAL`]): the rendezvous is a
+    /// cross-machine lifetime, closed only when both members have started.
+    fn span_open_pair(&mut self, m: usize, job: &Job) {
+        if !self.observer.active() {
+            return;
+        }
+        let Some(key) = self.pair_key(m, job) else {
+            return;
+        };
+        if self.spans.pair_root.contains_key(&key) {
+            return;
+        }
+        let id = self.spans.alloc();
+        self.spans.pair_root.insert(key, id);
+        self.spans.pair_started.insert(key, [false, false]);
+        self.observer.record(
+            self.now.as_secs(),
+            GLOBAL,
+            TraceEvent::SpanOpen {
+                span: id,
+                parent: NO_SPAN,
+                kind: SpanKind::PairRendezvous,
+                job: key.0,
+                mate: key.1,
+            },
+        );
+    }
+
+    /// The open pair-root span id for a job on machine `m` ([`NO_SPAN`]
+    /// when untraced, unpaired, or already closed).
+    fn pair_span_of(&self, m: usize, job: &Job) -> u64 {
+        self.pair_key(m, job)
+            .and_then(|key| self.spans.pair_root.get(&key).copied())
+            .unwrap_or(NO_SPAN)
+    }
+
+    /// A job started on machine `m`: close its open yield/hold spans, mark
+    /// its pair member as started, and close the pair root span once both
+    /// members run.
+    fn span_mark_started(&mut self, m: usize, job_id: JobId) {
+        if !self.observer.active() {
+            return;
+        }
+        let now = self.now.as_secs();
+        if let Some(id) = self.spans.yielding.remove(&(m, job_id.0)) {
+            self.observer
+                .record(now, m, TraceEvent::SpanClose { span: id });
+        }
+        if let Some(id) = self.spans.hold.remove(&(m, job_id.0)) {
+            self.observer
+                .record(now, m, TraceEvent::SpanClose { span: id });
+        }
+        let Some(key) = self.machines[m]
+            .job(job_id)
+            .and_then(|job| self.pair_key(m, job))
+        else {
+            return;
+        };
+        if let Some(started) = self.spans.pair_started.get_mut(&key) {
+            started[m] = true;
+            if started[0] && started[1] {
+                self.spans.pair_started.remove(&key);
+                if let Some(root) = self.spans.pair_root.remove(&key) {
+                    self.observer
+                        .record(now, GLOBAL, TraceEvent::SpanClose { span: root });
+                }
+            }
         }
     }
 
@@ -374,6 +484,7 @@ impl<O: Observer> CoupledSimulation<O> {
         match event {
             Event::Arrival { m, idx } => {
                 let job = self.jobs[m][idx].clone();
+                self.span_open_pair(m, &job);
                 self.emit(m, || TraceEvent::JobSubmitted {
                     job: job.id.0,
                     size: job.size,
@@ -416,18 +527,50 @@ impl<O: Observer> CoupledSimulation<O> {
                 // the released jobs instantly re-hold with fresh staggered
                 // ages. Only the full batch lets the demoted-last iteration
                 // hand the entire held capacity to the waiting jobs first.
+                let sweep_span = if self.observer.active() {
+                    let id = self.spans.alloc();
+                    self.observer.record(
+                        self.now.as_secs(),
+                        m,
+                        TraceEvent::SpanOpen {
+                            span: id,
+                            parent: NO_SPAN,
+                            kind: SpanKind::ReleaseSweep,
+                            job: NO_JOB,
+                            mate: NO_JOB,
+                        },
+                    );
+                    id
+                } else {
+                    NO_SPAN
+                };
                 let held: Vec<JobId> = self.machines[m].held_jobs().to_vec();
                 let held_before = held.len();
                 for job in held {
                     self.machines[m].release_held(job, self.now);
                     self.forced_releases += 1;
                     self.emit(m, || TraceEvent::CoschedDeadlockDemotion { job: job.0 });
+                    // The demotion ends the job's hold interval.
+                    if let Some(id) = self.spans.hold.remove(&(m, job.0)) {
+                        self.observer.record(
+                            self.now.as_secs(),
+                            m,
+                            TraceEvent::SpanClose { span: id },
+                        );
+                    }
                 }
                 self.stats.release_sweeps += 1;
                 self.emit(m, || TraceEvent::CoschedReleaseSweep {
                     released: held_before,
                     held_before,
                 });
+                if sweep_span != NO_SPAN {
+                    self.observer.record(
+                        self.now.as_secs(),
+                        m,
+                        TraceEvent::SpanClose { span: sweep_span },
+                    );
+                }
                 self.profiler
                     .record(Phase::ReleaseSweep, elapsed_ns(sweep_t0));
                 self.iterate(m);
@@ -454,8 +597,25 @@ impl<O: Observer> CoupledSimulation<O> {
         });
         self.machines[m].begin_iteration();
         let mut started = 0usize;
+        // Lazily opened at the first mated pick: "a scheduler iteration
+        // that touches a mated job" gets its own span.
+        let mut iter_span = NO_SPAN;
         while let Some(cand) = self.machines[m].pick_next(self.now) {
             self.drain_machine_trace(m);
+            if cand.paired && iter_span == NO_SPAN && self.observer.active() {
+                iter_span = self.spans.alloc();
+                self.observer.record(
+                    self.now.as_secs(),
+                    m,
+                    TraceEvent::SpanOpen {
+                        span: iter_span,
+                        parent: NO_SPAN,
+                        kind: SpanKind::SchedIteration,
+                        job: NO_JOB,
+                        mate: NO_JOB,
+                    },
+                );
+            }
             self.emit(m, || TraceEvent::SchedPick {
                 job: cand.job_id.0,
                 size: cand.size,
@@ -474,6 +634,13 @@ impl<O: Observer> CoupledSimulation<O> {
                 yields_so_far: self.machines[m].yields_of(cand.job_id),
             };
             let remote = 1 - m;
+            // RPC spans for this decision parent under the pair root (the
+            // span context a live transport would carry in its frames).
+            let rpc_parent = if self.observer.active() {
+                self.pair_span_of(m, &job)
+            } else {
+                NO_SPAN
+            };
             // Algorithm-internal events (§IV-E2 scheme shifts) are staged in
             // a local buffer: the remote-call closure already borrows `self`.
             let mut shifts: Vec<TraceEvent> = Vec::new();
@@ -482,7 +649,7 @@ impl<O: Observer> CoupledSimulation<O> {
                 run_job_traced(
                     &cfg,
                     &ctx,
-                    |req| this.remote_call(remote, req),
+                    |req| this.remote_call(remote, req, rpc_parent),
                     |ev| shifts.push(ev),
                 )
             };
@@ -512,9 +679,27 @@ impl<O: Observer> CoupledSimulation<O> {
                     let end = self.machines[m].start(cand, self.now);
                     let id = job.id;
                     self.queue.push(end, Event::JobEnd { m, job: id });
+                    self.span_mark_started(m, id);
                 }
                 Decision::Hold => {
                     self.stats.holds += 1;
+                    if self.observer.active() {
+                        let parent = self.pair_span_of(m, &job);
+                        let id = self.spans.alloc();
+                        self.spans.hold.insert((m, job.id.0), id);
+                        let mate = job.mate.as_ref().map_or(NO_JOB, |r| r.job.0);
+                        self.observer.record(
+                            self.now.as_secs(),
+                            m,
+                            TraceEvent::SpanOpen {
+                                span: id,
+                                parent,
+                                kind: SpanKind::Hold,
+                                job: job.id.0,
+                                mate,
+                            },
+                        );
+                    }
                     self.emit(m, || TraceEvent::CoschedHoldPlaced {
                         job: job.id.0,
                         nodes: cand.charged,
@@ -523,6 +708,25 @@ impl<O: Observer> CoupledSimulation<O> {
                 }
                 Decision::Yield => {
                     self.stats.yields += 1;
+                    // A yield episode spans from the first yield to the
+                    // job's eventual start; repeated yields stay inside it.
+                    if self.observer.active() && !self.spans.yielding.contains_key(&(m, job.id.0)) {
+                        let parent = self.pair_span_of(m, &job);
+                        let id = self.spans.alloc();
+                        self.spans.yielding.insert((m, job.id.0), id);
+                        let mate = job.mate.as_ref().map_or(NO_JOB, |r| r.job.0);
+                        self.observer.record(
+                            self.now.as_secs(),
+                            m,
+                            TraceEvent::SpanOpen {
+                                span: id,
+                                parent,
+                                kind: SpanKind::YieldWait,
+                                job: job.id.0,
+                                mate,
+                            },
+                        );
+                    }
                     let yields_so_far = ctx.yields_so_far + 1;
                     self.emit(m, || TraceEvent::CoschedYield {
                         job: job.id.0,
@@ -533,6 +737,13 @@ impl<O: Observer> CoupledSimulation<O> {
             }
         }
         self.drain_machine_trace(m);
+        if iter_span != NO_SPAN {
+            self.observer.record(
+                self.now.as_secs(),
+                m,
+                TraceEvent::SpanClose { span: iter_span },
+            );
+        }
         self.emit(m, || TraceEvent::SchedIterationEnd { started });
         self.arm_sweep_if_needed(m);
         self.profiler
@@ -580,12 +791,37 @@ impl<O: Observer> CoupledSimulation<O> {
 
     /// Answer one protocol request against machine `m` — the simulator's
     /// in-process "wire". Starting side effects schedule the corresponding
-    /// end events.
-    fn remote_call(&mut self, m: usize, req: &Request) -> Result<Response, ProtoError> {
+    /// end events. `parent` is the caller-side span the RPC parents under
+    /// (the pair root; [`NO_SPAN`] when untraced or unpaired) — the same
+    /// context a live transport carries in its `TracedRequest` frames.
+    fn remote_call(
+        &mut self,
+        m: usize,
+        req: &Request,
+        parent: u64,
+    ) -> Result<Response, ProtoError> {
         let rpc_t0 = Instant::now();
         let kind = rpc_kind(req);
         self.stats.rpc_calls += 1;
-        let result = self.remote_call_inner(m, req);
+        // Caller-side RPC span: opened on the calling machine (1 - m).
+        let rpc_span = if self.observer.active() {
+            let id = self.spans.alloc();
+            self.observer.record(
+                self.now.as_secs(),
+                1 - m,
+                TraceEvent::SpanOpen {
+                    span: id,
+                    parent,
+                    kind: SpanKind::Rpc(kind),
+                    job: req_job(req),
+                    mate: NO_JOB,
+                },
+            );
+            id
+        } else {
+            NO_SPAN
+        };
+        let result = self.remote_call_inner(m, req, rpc_span);
         let nanos = elapsed_ns(rpc_t0);
         self.rpc_latency.record(nanos);
         self.profiler.record(Phase::RpcCall, nanos);
@@ -595,10 +831,24 @@ impl<O: Observer> CoupledSimulation<O> {
         } else {
             self.emit(m, || TraceEvent::RpcCall { kind, ok: true });
         }
+        if rpc_span != NO_SPAN {
+            self.observer.record(
+                self.now.as_secs(),
+                1 - m,
+                TraceEvent::SpanClose { span: rpc_span },
+            );
+        }
         result
     }
 
-    fn remote_call_inner(&mut self, m: usize, req: &Request) -> Result<Response, ProtoError> {
+    /// `ctx_span` is the caller's RPC span id, as it would arrive in a
+    /// `TracedRequest` envelope; the handler's work parents under it.
+    fn remote_call_inner(
+        &mut self,
+        m: usize,
+        req: &Request,
+        ctx_span: u64,
+    ) -> Result<Response, ProtoError> {
         if !self.reachable[m] {
             return Err(ProtoError::Disconnected(format!(
                 "machine {m} is down (fault injection)"
@@ -607,8 +857,27 @@ impl<O: Observer> CoupledSimulation<O> {
         if self.status_timeout[m] && matches!(req, Request::GetMateStatus { .. }) {
             return Err(ProtoError::Timeout);
         }
+        // The request reached the remote: its handler work gets a span
+        // parented under the caller's RPC span (context propagation).
+        let handler_span = if self.observer.active() {
+            let id = self.spans.alloc();
+            self.observer.record(
+                self.now.as_secs(),
+                m,
+                TraceEvent::SpanOpen {
+                    span: id,
+                    parent: ctx_span,
+                    kind: SpanKind::RpcHandler(rpc_kind(req)),
+                    job: req_job(req),
+                    mate: NO_JOB,
+                },
+            );
+            id
+        } else {
+            NO_SPAN
+        };
         let caller_machine = self.config.machines[1 - m].machine;
-        Ok(match req {
+        let resp = match req {
             Request::GetMateJob { for_job } => {
                 Response::MateJob(self.registry.mate_of(caller_machine, *for_job))
             }
@@ -636,6 +905,7 @@ impl<O: Observer> CoupledSimulation<O> {
                             job: job.0,
                             with_mate: true,
                         });
+                        self.span_mark_started(m, *job);
                         Response::Started(true)
                     }
                     None => Response::Started(false),
@@ -655,6 +925,7 @@ impl<O: Observer> CoupledSimulation<O> {
                             job: job.0,
                             with_mate: true,
                         });
+                        self.span_mark_started(m, *job);
                         Response::Started(true)
                     }
                     None => Response::Started(false),
@@ -664,7 +935,15 @@ impl<O: Observer> CoupledSimulation<O> {
             Request::CanStart { job } => {
                 Response::CanStart(self.machines[m].can_start_direct(*job, self.now))
             }
-        })
+        };
+        if handler_span != NO_SPAN {
+            self.observer.record(
+                self.now.as_secs(),
+                m,
+                TraceEvent::SpanClose { span: handler_span },
+            );
+        }
+        Ok(resp)
     }
 
     fn report(mut self, aborted: bool) -> RunArtifacts<O> {
@@ -777,6 +1056,18 @@ fn rpc_kind(req: &Request) -> RpcKind {
         Request::StartJob { .. } => RpcKind::StartJob,
         Request::CanStart { .. } => RpcKind::CanStart,
         Request::Ping => RpcKind::Ping,
+    }
+}
+
+/// The job a request concerns, for span records ([`NO_JOB`] for probes).
+fn req_job(req: &Request) -> u64 {
+    match req {
+        Request::GetMateJob { for_job } => for_job.0,
+        Request::GetMateStatus { job }
+        | Request::TryStartMate { job }
+        | Request::StartJob { job }
+        | Request::CanStart { job } => job.0,
+        Request::Ping => NO_JOB,
     }
 }
 

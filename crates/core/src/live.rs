@@ -16,7 +16,7 @@ use crate::algorithm::{run_job, Decision, LocalContext};
 use crate::config::CoschedConfig;
 use crate::registry::MateRegistry;
 use cosched_metrics::JobRecord;
-use cosched_proto::{DomainService, MateStatus, Request, Response, Transport};
+use cosched_proto::{DomainService, MateStatus, Request, Response, SpanContext, Transport};
 use cosched_sched::{JobStatus, Machine};
 use cosched_sim::SimTime;
 use cosched_workload::{Job, JobId, MachineId};
@@ -30,6 +30,10 @@ struct Inner {
     peer: MachineId,
     /// Completion deadlines of started jobs, processed by `complete_due`.
     ends: Vec<(JobId, SimTime)>,
+    /// Caller span ids seen on incoming requests (context propagated
+    /// through the transport's `TracedRequest` frames) — lets operators
+    /// correlate this domain's handler work with the peer's causal spans.
+    peer_spans: Vec<u64>,
 }
 
 /// One scheduling domain of a live coupled system. Cheap to clone (shared
@@ -56,6 +60,7 @@ impl LiveDomain {
                 registry,
                 peer,
                 ends: Vec::new(),
+                peer_spans: Vec::new(),
             })),
         }
     }
@@ -106,13 +111,23 @@ impl LiveDomain {
     }
 
     /// Build a [`DomainService`] for the protocol server, reading time from
-    /// `clock` at each request.
+    /// `clock` at each request. The service is span-aware: caller span
+    /// contexts arriving in request frames are recorded (see
+    /// [`LiveDomain::peer_spans`]) before the request is answered.
     pub fn service<C>(&self, clock: C) -> impl DomainService + Send + 'static
     where
         C: Fn() -> SimTime + Send + 'static,
     {
-        let domain = self.clone();
-        move |req: Request| domain.handle(req, clock())
+        LiveService {
+            domain: self.clone(),
+            clock,
+        }
+    }
+
+    /// Caller span ids observed on incoming requests so far, in arrival
+    /// order (non-empty contexts only).
+    pub fn peer_spans(&self) -> Vec<u64> {
+        self.inner.lock().peer_spans.clone()
     }
 
     /// Run one local scheduling iteration at `now`, coordinating over
@@ -227,6 +242,29 @@ impl LiveDomain {
     }
 }
 
+/// The [`DomainService`] returned by [`LiveDomain::service`]: records
+/// incoming span contexts, then answers at the clock's current time.
+struct LiveService<C> {
+    domain: LiveDomain,
+    clock: C,
+}
+
+impl<C> DomainService for LiveService<C>
+where
+    C: Fn() -> SimTime + Send + 'static,
+{
+    fn handle(&mut self, req: Request) -> Response {
+        self.domain.handle(req, (self.clock)())
+    }
+
+    fn handle_traced(&mut self, req: Request, ctx: SpanContext) -> Response {
+        if !ctx.is_none() {
+            self.domain.inner.lock().peer_spans.push(ctx.span);
+        }
+        self.handle(req)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +289,36 @@ mod tests {
         let mut reg = MateRegistry::new();
         reg.insert_pair((MachineId(0), JobId(1)), (MachineId(1), JobId(1)));
         reg
+    }
+
+    /// Span contexts carried in request frames reach the domain service.
+    #[test]
+    fn service_records_peer_span_contexts() {
+        let a = LiveDomain::new(
+            Machine::new(MachineConfig::flat("A", MachineId(0), 10)),
+            CoschedConfig::paper(Scheme::Hold),
+            registry_with_pair(),
+            MachineId(1),
+        );
+        let (mut client, server) = inproc::pair(Duration::from_secs(1));
+        let svc_domain = a.clone();
+        let t = std::thread::spawn(move || {
+            let mut svc = svc_domain.service(|| SimTime::ZERO);
+            server.serve(&mut svc);
+        });
+        client
+            .call_with(&Request::Ping, SpanContext::new(17))
+            .unwrap();
+        client.call(&Request::Ping).unwrap(); // empty context: not recorded
+        client
+            .call_with(
+                &Request::GetMateStatus { job: JobId(1) },
+                SpanContext::new(21),
+            )
+            .unwrap();
+        drop(client);
+        t.join().unwrap();
+        assert_eq!(a.peer_spans(), vec![17, 21]);
     }
 
     /// Two live domains wired over in-proc transports, pumped manually.

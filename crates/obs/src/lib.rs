@@ -39,4 +39,4 @@ pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
 pub use reader::{
     read_trace_file, read_trace_str, write_trace_string, TraceReadError, TraceReader,
 };
-pub use trace::{TraceEvent, TraceRecord};
+pub use trace::{SpanKind, TraceEvent, TraceRecord, GLOBAL, NO_JOB, NO_SPAN};

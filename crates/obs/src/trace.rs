@@ -21,6 +21,12 @@ pub struct TraceRecord {
 /// Machine index used for events not tied to a domain.
 pub const GLOBAL: usize = usize::MAX;
 
+/// Job id used in span records when no job applies (sweep/iteration spans).
+pub const NO_JOB: u64 = u64::MAX;
+
+/// Span id meaning "no parent": a span with `parent == NO_SPAN` is a root.
+pub const NO_SPAN: u64 = 0;
+
 /// Structured events emitted across the stack.
 ///
 /// Grouped by layer: `Engine*` (cosched-sim), `Job*` (lifecycle anchors
@@ -104,6 +110,58 @@ pub enum TraceEvent {
     FrameEncoded { bytes: u64 },
     /// A frame was decoded off the wire (`bytes` includes the header).
     FrameDecoded { bytes: u64 },
+
+    // ----- causal spans ----------------------------------------------------
+    /// A causal span opened. Span ids are assigned deterministically (dense,
+    /// starting at 1) so same-seed runs produce byte-identical span records.
+    /// `parent == NO_SPAN` marks a root span; `job`/`mate` are `NO_JOB` when
+    /// the span is not tied to a job (sweeps, scheduler iterations).
+    SpanOpen {
+        span: u64,
+        parent: u64,
+        kind: SpanKind,
+        job: u64,
+        mate: u64,
+    },
+    /// The span with this id closed (at the record's sim time).
+    SpanClose { span: u64 },
+}
+
+/// What a causal span covers. Mirrors the links of the rendezvous chain:
+/// submit → queue → RPCs → hold/yield → demotion → synchronized start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Root span of a mate pair: opens at the first submit of either member
+    /// (machine = [`GLOBAL`]), closes when both members have started.
+    PairRendezvous,
+    /// One hold interval: hold placed → start or deadlock demotion.
+    Hold,
+    /// One yield/backoff episode: first yield → the job finally starts.
+    YieldWait,
+    /// A cross-domain RPC, caller side.
+    Rpc(RpcKind),
+    /// The remote handler's work for an RPC, parented under the caller's
+    /// [`SpanKind::Rpc`] span via context propagation.
+    RpcHandler(RpcKind),
+    /// One deadlock-breaker release sweep that actually released holds.
+    ReleaseSweep,
+    /// A scheduler iteration that touched at least one mated job.
+    SchedIteration,
+}
+
+impl SpanKind {
+    /// Stable kebab-case label (Perfetto categories, critical-path classes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::PairRendezvous => "pair-rendezvous",
+            SpanKind::Hold => "hold",
+            SpanKind::YieldWait => "yield-wait",
+            SpanKind::Rpc(_) => "rpc",
+            SpanKind::RpcHandler(_) => "rpc-handler",
+            SpanKind::ReleaseSweep => "release-sweep",
+            SpanKind::SchedIteration => "sched-iteration",
+        }
+    }
 }
 
 /// Why an allocation attempt failed.
@@ -166,7 +224,127 @@ impl TraceEvent {
             TraceEvent::RpcTimeout { .. } => "rpc-timeout",
             TraceEvent::FrameEncoded { .. } => "frame-encoded",
             TraceEvent::FrameDecoded { .. } => "frame-decoded",
+            TraceEvent::SpanOpen { .. } => "span-open",
+            TraceEvent::SpanClose { .. } => "span-close",
         }
+    }
+
+    /// Number of [`TraceEvent`] variants. Kept in lockstep with
+    /// [`TraceEvent::variant_index`] (whose `match` is exhaustive, so adding
+    /// a variant without updating both is a compile error), and asserted
+    /// against [`TraceEvent::samples`] coverage in tests.
+    pub const VARIANT_COUNT: usize = 24;
+
+    /// Dense index of this variant in declaration order. The exhaustive
+    /// `match` is the enforcement mechanism: a new variant fails to compile
+    /// here until it is given an index, and the `samples()` coverage test
+    /// then fails until a sample (and thus a serde + `kind()` arm) exists.
+    pub fn variant_index(&self) -> usize {
+        match self {
+            TraceEvent::EngineDispatch { .. } => 0,
+            TraceEvent::EngineCancel { .. } => 1,
+            TraceEvent::JobSubmitted { .. } => 2,
+            TraceEvent::JobEnded { .. } => 3,
+            TraceEvent::SchedIterationStart { .. } => 4,
+            TraceEvent::SchedIterationEnd { .. } => 5,
+            TraceEvent::SchedPick { .. } => 6,
+            TraceEvent::SchedBackfillHit { .. } => 7,
+            TraceEvent::SchedDrainEngaged { .. } => 8,
+            TraceEvent::SchedAllocFail { .. } => 9,
+            TraceEvent::CoschedHoldPlaced { .. } => 10,
+            TraceEvent::CoschedYield { .. } => 11,
+            TraceEvent::CoschedRendezvousCommit { .. } => 12,
+            TraceEvent::CoschedReleaseSweep { .. } => 13,
+            TraceEvent::CoschedHeldCapDegradation { .. } => 14,
+            TraceEvent::CoschedYieldCapEscalation { .. } => 15,
+            TraceEvent::CoschedDeadlockDemotion { .. } => 16,
+            TraceEvent::CoschedStart { .. } => 17,
+            TraceEvent::RpcCall { .. } => 18,
+            TraceEvent::RpcTimeout { .. } => 19,
+            TraceEvent::FrameEncoded { .. } => 20,
+            TraceEvent::FrameDecoded { .. } => 21,
+            TraceEvent::SpanOpen { .. } => 22,
+            TraceEvent::SpanClose { .. } => 23,
+        }
+    }
+
+    /// One representative instance per variant, for exhaustiveness and
+    /// round-trip tests (`tests` below and the reader round-trip suite).
+    pub fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::EngineDispatch { seq: 7 },
+            TraceEvent::EngineCancel { seq: 8 },
+            TraceEvent::JobSubmitted {
+                job: 1,
+                size: 512,
+                paired: true,
+            },
+            TraceEvent::JobEnded { job: 1 },
+            TraceEvent::SchedIterationStart {
+                queued: 3,
+                running: 2,
+                free_nodes: 1024,
+            },
+            TraceEvent::SchedIterationEnd { started: 1 },
+            TraceEvent::SchedPick {
+                job: 2,
+                size: 256,
+                via_backfill: false,
+            },
+            TraceEvent::SchedBackfillHit { job: 3, size: 64 },
+            TraceEvent::SchedDrainEngaged {
+                blocked_job: 4,
+                needed: 2048,
+                free_nodes: 512,
+            },
+            TraceEvent::SchedAllocFail {
+                job: 5,
+                size: 4096,
+                reason: AllocFailReason::Capacity,
+            },
+            TraceEvent::CoschedHoldPlaced { job: 6, nodes: 128 },
+            TraceEvent::CoschedYield {
+                job: 7,
+                yields_so_far: 2,
+            },
+            TraceEvent::CoschedRendezvousCommit {
+                job: 8,
+                mate: 9,
+                anchored: true,
+            },
+            TraceEvent::CoschedReleaseSweep {
+                released: 2,
+                held_before: 3,
+            },
+            TraceEvent::CoschedHeldCapDegradation {
+                job: 10,
+                held_nodes: 900,
+                capacity: 1024,
+            },
+            TraceEvent::CoschedYieldCapEscalation { job: 11, yields: 5 },
+            TraceEvent::CoschedDeadlockDemotion { job: 12 },
+            TraceEvent::CoschedStart {
+                job: 13,
+                with_mate: true,
+            },
+            TraceEvent::RpcCall {
+                kind: RpcKind::GetMateStatus,
+                ok: true,
+            },
+            TraceEvent::RpcTimeout {
+                kind: RpcKind::TryStartMate,
+            },
+            TraceEvent::FrameEncoded { bytes: 96 },
+            TraceEvent::FrameDecoded { bytes: 96 },
+            TraceEvent::SpanOpen {
+                span: 14,
+                parent: 2,
+                kind: SpanKind::Rpc(RpcKind::StartJob),
+                job: 15,
+                mate: 16,
+            },
+            TraceEvent::SpanClose { span: 14 },
+        ]
     }
 }
 
@@ -204,5 +382,45 @@ mod tests {
             "rpc-timeout"
         );
         assert_eq!(RpcKind::TryStartMate.as_str(), "try_start_mate");
+    }
+
+    #[test]
+    fn samples_cover_every_variant_exactly_once() {
+        let samples = TraceEvent::samples();
+        assert_eq!(samples.len(), TraceEvent::VARIANT_COUNT);
+        let mut seen = [false; TraceEvent::VARIANT_COUNT];
+        for event in &samples {
+            let index = event.variant_index();
+            assert!(!seen[index], "duplicate sample for variant {index}");
+            seen[index] = true;
+        }
+        assert!(seen.iter().all(|covered| *covered));
+    }
+
+    #[test]
+    fn every_variant_has_a_unique_nonempty_kind() {
+        let kinds: Vec<&str> = TraceEvent::samples().iter().map(|e| e.kind()).collect();
+        let mut sorted = kinds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), TraceEvent::VARIANT_COUNT, "kind collision");
+        assert!(kinds.iter().all(|k| !k.is_empty()));
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_serde() {
+        for event in TraceEvent::samples() {
+            let text = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, event, "serde round-trip mismatch for {text}");
+        }
+    }
+
+    #[test]
+    fn span_kind_labels_are_stable() {
+        assert_eq!(SpanKind::PairRendezvous.label(), "pair-rendezvous");
+        assert_eq!(SpanKind::Rpc(RpcKind::Ping).label(), "rpc");
+        assert_eq!(SpanKind::RpcHandler(RpcKind::Ping).label(), "rpc-handler");
+        assert_eq!(SpanKind::SchedIteration.label(), "sched-iteration");
     }
 }

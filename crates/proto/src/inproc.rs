@@ -5,20 +5,21 @@
 //! as TCP — including timeouts — without sockets.
 
 use crate::message::{Request, Response};
+use crate::span::{SpanContext, TracedRequest};
 use crate::transport::{DomainService, ProtoError, Transport};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// Client half of an in-process link.
 pub struct InprocClient {
-    tx: Sender<Request>,
+    tx: Sender<TracedRequest>,
     rx: Receiver<Response>,
     timeout: Duration,
 }
 
 /// Server half of an in-process link.
 pub struct InprocServer {
-    rx: Receiver<Request>,
+    rx: Receiver<TracedRequest>,
     tx: Sender<Response>,
 }
 
@@ -41,8 +42,15 @@ pub fn pair(timeout: Duration) -> (InprocClient, InprocServer) {
 
 impl Transport for InprocClient {
     fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        self.call_with(req, SpanContext::NONE)
+    }
+
+    fn call_with(&mut self, req: &Request, ctx: SpanContext) -> Result<Response, ProtoError> {
         self.tx
-            .send(req.clone())
+            .send(TracedRequest {
+                ctx,
+                req: req.clone(),
+            })
             .map_err(|_| ProtoError::Disconnected("server dropped".into()))?;
         match self.rx.recv_timeout(self.timeout) {
             Ok(resp) => Ok(resp),
@@ -59,8 +67,8 @@ impl InprocServer {
     /// side is gone.
     pub fn serve_once<S: DomainService>(&self, service: &mut S) -> bool {
         match self.rx.recv() {
-            Ok(req) => {
-                let resp = service.handle(req);
+            Ok(env) => {
+                let resp = service.handle_traced(env.req, env.ctx);
                 self.tx.send(resp).is_ok()
             }
             Err(_) => false,

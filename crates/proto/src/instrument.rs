@@ -40,18 +40,25 @@ pub struct TransportMetrics {
     pub failures: u64,
     /// Per-kind call counts as `(kind name, count)`, non-zero entries only.
     pub calls_by_kind: Vec<(&'static str, u64)>,
-    /// Wall-clock latency distribution in nanoseconds.
+    /// Per-kind timeout counts as `(kind name, count)`, non-zero entries
+    /// only.
+    pub timeouts_by_kind: Vec<(&'static str, u64)>,
+    /// Wall-clock latency distribution in nanoseconds, all kinds combined.
     pub latency_ns: HistogramSnapshot,
+    /// Per-kind wall-clock latency distributions, kinds with calls only.
+    pub latency_by_kind: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 /// A [`Transport`] wrapper recording latency and outcome for every call.
 pub struct InstrumentedTransport<T: Transport> {
     inner: T,
     latency_ns: Histogram,
+    latency_by_kind: [Histogram; KINDS.len()],
     calls: u64,
     timeouts: u64,
     failures: u64,
     by_kind: [u64; KINDS.len()],
+    timeouts_by_kind: [u64; KINDS.len()],
 }
 
 impl<T: Transport> InstrumentedTransport<T> {
@@ -59,10 +66,12 @@ impl<T: Transport> InstrumentedTransport<T> {
         InstrumentedTransport {
             inner,
             latency_ns: Histogram::new(),
+            latency_by_kind: std::array::from_fn(|_| Histogram::new()),
             calls: 0,
             timeouts: 0,
             failures: 0,
             by_kind: [0; KINDS.len()],
+            timeouts_by_kind: [0; KINDS.len()],
         }
     }
 
@@ -88,7 +97,20 @@ impl<T: Transport> InstrumentedTransport<T> {
                 .filter(|&(_, n)| n > 0)
                 .map(|(&k, n)| (k.as_str(), n))
                 .collect(),
+            timeouts_by_kind: KINDS
+                .iter()
+                .zip(self.timeouts_by_kind)
+                .filter(|&(_, n)| n > 0)
+                .map(|(&k, n)| (k.as_str(), n))
+                .collect(),
             latency_ns: self.latency_ns.snapshot("rpc.latency_ns"),
+            latency_by_kind: KINDS
+                .iter()
+                .zip(&self.by_kind)
+                .zip(&self.latency_by_kind)
+                .filter(|&((_, &n), _)| n > 0)
+                .map(|((&k, _), h)| (k.as_str(), h.snapshot("rpc.latency_ns")))
+                .collect(),
         }
     }
 }
@@ -98,11 +120,16 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
         let t0 = Instant::now();
         let result = self.inner.call(req);
         let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let index = kind_index(req.trace_kind());
         self.latency_ns.record(nanos);
+        self.latency_by_kind[index].record(nanos);
         self.calls += 1;
-        self.by_kind[kind_index(req.trace_kind())] += 1;
+        self.by_kind[index] += 1;
         match &result {
-            Err(ProtoError::Timeout) => self.timeouts += 1,
+            Err(ProtoError::Timeout) => {
+                self.timeouts += 1;
+                self.timeouts_by_kind[index] += 1;
+            }
             Err(_) => self.failures += 1,
             Ok(_) => {}
         }
@@ -143,6 +170,18 @@ mod tests {
         assert_eq!(m.latency_ns.count, 5);
         assert!(m.calls_by_kind.contains(&("ping", 4)));
         assert!(m.calls_by_kind.contains(&("get_mate_job", 1)));
+        // Both timeouts hit pings (calls 2 and 4): per-kind timeout and
+        // latency breakdowns follow the same kind keys.
+        assert_eq!(m.timeouts_by_kind, vec![("ping", 2)]);
+        let kinds: Vec<&str> = m.latency_by_kind.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds, vec!["get_mate_job", "ping"]);
+        let ping_latency = &m
+            .latency_by_kind
+            .iter()
+            .find(|(k, _)| *k == "ping")
+            .unwrap()
+            .1;
+        assert_eq!(ping_latency.count, 4);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Span-context propagation: ties a remote handler's work to the caller's
+//! causal span.
+//!
+//! The coupled driver assigns deterministic span ids (see
+//! `cosched_obs::trace`); when a request crosses a transport the caller's
+//! RPC-span id rides along in a [`TracedRequest`] envelope so the remote
+//! side can parent its handler span under the caller's span. The context is
+//! part of the *frame*, not the [`Request`] enum,
+//! so the protocol vocabulary stays exactly the paper's four RPCs plus the
+//! probe.
+
+use crate::message::Request;
+use serde::{Deserialize, Serialize};
+
+/// The caller's span id carried across a transport. `span == 0` (the
+/// default) means "no active span" — tracing disabled or an untraced caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// The caller-side RPC span id, or 0 for none.
+    pub span: u64,
+}
+
+impl SpanContext {
+    /// The empty context (no active span).
+    pub const NONE: SpanContext = SpanContext { span: 0 };
+
+    /// A context carrying `span` as the parent for remote handler work.
+    pub fn new(span: u64) -> SpanContext {
+        SpanContext { span }
+    }
+
+    /// True when no span is propagated.
+    pub fn is_none(&self) -> bool {
+        self.span == 0
+    }
+}
+
+/// The on-wire request envelope: the request plus the caller's span
+/// context. This is what TCP and in-process transports actually carry;
+/// untraced callers send [`SpanContext::NONE`] (`span: 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracedRequest {
+    /// Caller span context (`span: 0` ⇒ none).
+    pub ctx: SpanContext,
+    /// The actual protocol request.
+    pub req: Request,
+}
+
+impl TracedRequest {
+    /// Wrap a request with no span context.
+    pub fn untraced(req: Request) -> TracedRequest {
+        TracedRequest {
+            ctx: SpanContext::NONE,
+            req,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_workload::JobId;
+
+    #[test]
+    fn envelope_roundtrips() {
+        let env = TracedRequest {
+            ctx: SpanContext::new(42),
+            req: Request::GetMateStatus { job: JobId(7) },
+        };
+        let s = serde_json::to_string(&env).unwrap();
+        let back: TracedRequest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, env);
+
+        let bare = TracedRequest::untraced(Request::Ping);
+        assert!(bare.ctx.is_none());
+        let s = serde_json::to_string(&bare).unwrap();
+        let back: TracedRequest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, bare);
+    }
+}

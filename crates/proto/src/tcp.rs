@@ -10,6 +10,7 @@
 
 use crate::frame::{encode, FrameDecoder};
 use crate::message::{Request, Response};
+use crate::span::{SpanContext, TracedRequest};
 use crate::transport::{DomainService, ProtoError, Transport};
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
@@ -47,7 +48,14 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
-        let wire = encode(req);
+        self.call_with(req, SpanContext::NONE)
+    }
+
+    fn call_with(&mut self, req: &Request, ctx: SpanContext) -> Result<Response, ProtoError> {
+        let wire = encode(&TracedRequest {
+            ctx,
+            req: req.clone(),
+        });
         self.stream
             .write_all(&wire)
             .map_err(|e| ProtoError::Disconnected(format!("send: {e}")))?;
@@ -161,9 +169,9 @@ fn handle_connection<S: DomainService>(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match decoder.next::<Request>() {
-            Ok(Some(req)) => {
-                let resp = service.lock().handle(req);
+        match decoder.next::<TracedRequest>() {
+            Ok(Some(env)) => {
+                let resp = service.lock().handle_traced(env.req, env.ctx);
                 if stream.write_all(&encode(&resp)).is_err() {
                     return;
                 }
@@ -234,6 +242,34 @@ mod tests {
             .collect();
         for t in threads {
             t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn span_context_propagates_over_tcp() {
+        struct CtxEcho;
+        impl DomainService for CtxEcho {
+            fn handle(&mut self, _req: Request) -> Response {
+                Response::Pong
+            }
+            fn handle_traced(&mut self, _req: Request, ctx: SpanContext) -> Response {
+                Response::Error(format!("span={}", ctx.span))
+            }
+        }
+        let server = serve("127.0.0.1:0".parse().unwrap(), CtxEcho).unwrap();
+        let mut client = TcpTransport::connect(server.addr(), Duration::from_secs(2)).unwrap();
+        match client
+            .call_with(&Request::Ping, SpanContext::new(99))
+            .unwrap()
+        {
+            Response::Error(s) => assert_eq!(s, "span=99"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Plain `call` sends the empty context.
+        match client.call(&Request::Ping).unwrap() {
+            Response::Error(s) => assert_eq!(s, "span=0"),
+            other => panic!("unexpected response {other:?}"),
         }
         server.shutdown();
     }

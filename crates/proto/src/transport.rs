@@ -2,6 +2,7 @@
 //! implement.
 
 use crate::message::{Request, Response};
+use crate::span::SpanContext;
 
 /// Failures a caller can observe. The coscheduling algorithm maps *any* of
 /// these to the remote-down branch of Algorithm 1 — the ready job starts
@@ -32,6 +33,13 @@ impl std::error::Error for ProtoError {}
 pub trait Transport {
     /// Issue one request and wait for its response.
     fn call(&mut self, req: &Request) -> Result<Response, ProtoError>;
+
+    /// Issue one request carrying the caller's span context. Transports
+    /// that propagate context on the wire (TCP, in-process) override this;
+    /// the default simply drops the context.
+    fn call_with(&mut self, req: &Request, _ctx: SpanContext) -> Result<Response, ProtoError> {
+        self.call(req)
+    }
 }
 
 /// The server side: what a resource manager exposes to its peers. One
@@ -40,6 +48,13 @@ pub trait Transport {
 pub trait DomainService {
     /// Answer one coordination request.
     fn handle(&mut self, req: Request) -> Response;
+
+    /// Answer one request that arrived with a caller span context. Services
+    /// that trace their work override this to parent handler spans under
+    /// `ctx.span`; the default ignores the context.
+    fn handle_traced(&mut self, req: Request, _ctx: SpanContext) -> Response {
+        self.handle(req)
+    }
 }
 
 /// Blanket adapter: any closure with the right shape is a service. Handy in

@@ -133,6 +133,10 @@ pub struct Candidate {
     /// Whether the pick came through the backfill window (a head-job
     /// reservation was active when this job was admitted).
     pub via_backfill: bool,
+    /// Whether the job has a mate on the other machine. Lets the coupled
+    /// driver scope iteration spans to iterations that touch mated jobs
+    /// without re-fetching the job record.
+    pub paired: bool,
 }
 
 /// Plain counters describing scheduler activity, always collected (no
@@ -408,6 +412,7 @@ impl Machine {
                     size,
                     charged,
                     via_backfill,
+                    paired: self.states[&id].job.mate.is_some(),
                 });
             }
             if !fits {

@@ -16,9 +16,17 @@
 //!   `(machine, job)` and report per-job and aggregate deltas; two
 //!   same-seed traces of the same scheme must diff to zero, which makes
 //!   the differ a determinism regression check.
-//! * **Exposition** ([`prom`], [`render`]) — Prometheus text-format output
-//!   for [`cosched_obs::MetricsSnapshot`]s, and ASCII Gantt/utilization
-//!   timelines rendered deterministically from lifecycles.
+//! * **Causal spans** ([`span_tree`], [`critical`]) — rebuild the
+//!   `SpanOpen`/`SpanClose` forest the driver emits around rendezvous,
+//!   holds, yields, RPCs and sweeps, then compute each mate pair's
+//!   critical path from first submit to synchronized start, attributed to
+//!   segment classes (local-queue / hold / yield / rpc / demotion /
+//!   backfill-shadow) and aggregated per scheme combo.
+//! * **Exposition** ([`prom`], [`render`], [`perfetto`]) — Prometheus
+//!   text-format output for [`cosched_obs::MetricsSnapshot`]s and
+//!   transport metrics, ASCII Gantt/utilization timelines rendered
+//!   deterministically from lifecycles, and Chrome trace-event JSON
+//!   (Perfetto-loadable) with cross-machine flow arrows for RPC edges.
 //!
 //! Everything consumes plain `&[TraceRecord]`, read back through
 //! [`cosched_obs::reader::TraceReader`]; no simulation types are needed,
@@ -26,13 +34,19 @@
 //! produced them.
 
 pub mod attribution;
+pub mod critical;
 pub mod diff;
 pub mod lifecycle;
+pub mod perfetto;
 pub mod prom;
 pub mod render;
+pub mod span_tree;
 
 pub use attribution::{AttributionReport, JobAttribution, MachineAttribution, SchemeGuess};
+pub use critical::{ComboAggregate, CriticalPathReport, PairPath, Segment, SegmentClass};
 pub use diff::{DiffReport, JobDelta};
 pub use lifecycle::{JobLifecycle, LifecycleError, LifecycleSet, Rendezvous};
-pub use prom::{render_prometheus, sanitize_name};
+pub use perfetto::render_perfetto;
+pub use prom::{render_prometheus, render_transport_prometheus, sanitize_name};
 pub use render::{render_gantt, render_utilization};
+pub use span_tree::{SpanNode, SpanTree, SpanTreeError};

@@ -1,0 +1,383 @@
+//! Chrome trace-event JSON export — load a cosched trace into Perfetto.
+//!
+//! Maps the two-machine simulation onto the trace-event model: machines
+//! become *processes* (pid = machine + 1; pid 0 is the synthetic "coupled"
+//! process holding pair-rendezvous tracks), jobs become *threads*
+//! (tid = job + 1; tid 0 is the scheduler track). Sim time is seconds; the
+//! exported `ts` is microseconds with the intra-instant record sequence
+//! added (`ts = time·10⁶ + seq`), so causal order within one sim instant —
+//! a whole rendezvous can happen "at" one second — stays visible when
+//! zoomed in.
+//!
+//! Span mapping:
+//! * closed non-root spans → `X` complete events on their machine/job track;
+//! * pair-rendezvous roots → `b`/`e` async events (id = span id, cat
+//!   `pair`) in the coupled process, so a pair's full cross-machine
+//!   lifetime is one collapsible track (an unclosed root exports `b` only);
+//! * every `Rpc` span with an `RpcHandler` child → an `s`/`f` flow pair
+//!   (id = rpc span id) drawing the cross-machine arrow from caller to
+//!   handler;
+//! * lifecycle moments (submit, start, yield, demotion, rendezvous commit)
+//!   → thread-scoped `i` instant events.
+//!
+//! The output is hand-assembled JSON (all names are fixed ASCII labels, so
+//! no escaping is needed) and deterministic: same records ⇒ byte-identical
+//! export.
+
+use crate::span_tree::{SpanTree, SpanTreeError};
+use cosched_obs::trace::{SpanKind, TraceRecord};
+use cosched_obs::{TraceEvent, GLOBAL, NO_JOB};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Microseconds-per-second scale for `ts` (sim seconds → trace-event µs).
+const TS_SCALE: u64 = 1_000_000;
+
+fn pid_of(machine: usize) -> u64 {
+    if machine == GLOBAL {
+        0
+    } else {
+        machine as u64 + 1
+    }
+}
+
+fn tid_of(job: u64) -> u64 {
+    if job == NO_JOB {
+        0
+    } else {
+        job + 1
+    }
+}
+
+fn span_name(kind: SpanKind) -> String {
+    match kind {
+        SpanKind::Rpc(k) => format!("rpc:{}", k.as_str()),
+        SpanKind::RpcHandler(k) => format!("rpc-handler:{}", k.as_str()),
+        other => other.label().to_string(),
+    }
+}
+
+/// Render a trace to Chrome trace-event JSON (object format, ready for
+/// `ui.perfetto.dev` or `chrome://tracing`). Fails only when the span
+/// records themselves are malformed.
+pub fn render_perfetto(records: &[TraceRecord]) -> Result<String, SpanTreeError> {
+    let tree = SpanTree::from_records(records)?;
+
+    // ts per record: µs plus intra-instant sequence (resets each new time).
+    let mut ts = Vec::with_capacity(records.len());
+    let mut last_time = u64::MAX;
+    let mut seq = 0u64;
+    for r in records {
+        if r.time != last_time {
+            last_time = r.time;
+            seq = 0;
+        } else {
+            seq += 1;
+        }
+        ts.push(r.time * TS_SCALE + seq);
+    }
+
+    let mut events: Vec<String> = Vec::new();
+
+    // Metadata: name every process and the scheduler track of each machine.
+    let mut pids: BTreeSet<u64> = records.iter().map(|r| pid_of(r.machine)).collect();
+    pids.insert(0);
+    for pid in &pids {
+        let name = if *pid == 0 {
+            "coupled (pairs)".to_string()
+        } else {
+            format!("machine {}", pid - 1)
+        };
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+        if *pid != 0 {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"scheduler\"}}}}"
+            ));
+        }
+    }
+
+    // Instant events for lifecycle moments, in record order.
+    for (i, r) in records.iter().enumerate() {
+        let (name, job) = match r.event {
+            TraceEvent::JobSubmitted { job, .. } => ("submit", job),
+            TraceEvent::CoschedStart { job, .. } => ("start", job),
+            TraceEvent::CoschedYield { job, .. } => ("yield", job),
+            TraceEvent::CoschedDeadlockDemotion { job } => ("demotion", job),
+            TraceEvent::CoschedRendezvousCommit { job, .. } => ("rendezvous-commit", job),
+            _ => continue,
+        };
+        events.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{name}\",\"cat\":\"lifecycle\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{},\"tid\":{}}}",
+            ts[i],
+            pid_of(r.machine),
+            tid_of(job),
+        ));
+    }
+
+    // Spans, in id (= open) order.
+    for node in tree.spans() {
+        let open_ts = ts[node.open_seq];
+        if matches!(node.kind, SpanKind::PairRendezvous) {
+            // Async b/e pair in the coupled process, on the machine-0
+            // member's track; id ties begin to end.
+            events.push(format!(
+                "{{\"ph\":\"b\",\"cat\":\"pair\",\"name\":\"pair-rendezvous\",\
+                 \"id\":{},\"ts\":{open_ts},\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"span\":{},\"job0\":{},\"job1\":{}}}}}",
+                node.id,
+                tid_of(node.job),
+                node.id,
+                node.job,
+                node.mate,
+            ));
+            if let Some(close_seq) = node.close_seq {
+                events.push(format!(
+                    "{{\"ph\":\"e\",\"cat\":\"pair\",\"name\":\"pair-rendezvous\",\
+                     \"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                    node.id,
+                    ts[close_seq],
+                    tid_of(node.job),
+                ));
+            }
+            continue;
+        }
+        // Non-root spans: only closed ones become X events (an open span
+        // has no duration to draw).
+        let Some(close_seq) = node.close_seq else {
+            continue;
+        };
+        let dur = ts[close_seq] - open_ts;
+        events.push(format!(
+            "{{\"ph\":\"X\",\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{open_ts},\
+             \"dur\":{dur},\"pid\":{},\"tid\":{},\"args\":{{\"span\":{},\"parent\":{}}}}}",
+            node.kind.label(),
+            span_name(node.kind),
+            pid_of(node.machine),
+            tid_of(node.job),
+            node.id,
+            node.parent,
+        ));
+    }
+
+    // Flow arrows: one s/f pair per Rpc span that has an RpcHandler child.
+    for node in tree.spans() {
+        if !matches!(node.kind, SpanKind::Rpc(_)) {
+            continue;
+        }
+        let Some(handler) = node
+            .children
+            .iter()
+            .filter_map(|&c| tree.get(c))
+            .find(|c| matches!(c.kind, SpanKind::RpcHandler(_)))
+        else {
+            continue;
+        };
+        events.push(format!(
+            "{{\"ph\":\"s\",\"cat\":\"rpc-flow\",\"name\":\"{}\",\"id\":{},\
+             \"ts\":{},\"pid\":{},\"tid\":{}}}",
+            span_name(node.kind),
+            node.id,
+            ts[node.open_seq],
+            pid_of(node.machine),
+            tid_of(node.job),
+        ));
+        events.push(format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"rpc-flow\",\"name\":\"{}\",\"id\":{},\
+             \"ts\":{},\"pid\":{},\"tid\":{}}}",
+            span_name(node.kind),
+            node.id,
+            ts[handler.open_seq],
+            pid_of(handler.machine),
+            tid_of(handler.job),
+        ));
+    }
+
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(e);
+    }
+    let _ = write!(out, "\n],\"displayTimeUnit\":\"ms\"}}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_obs::trace::RpcKind;
+    use cosched_obs::NO_SPAN;
+    use serde_json::Value;
+
+    fn rec(time: u64, machine: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time,
+            machine,
+            event,
+        }
+    }
+
+    fn sample_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                GLOBAL,
+                TraceEvent::SpanOpen {
+                    span: 1,
+                    parent: NO_SPAN,
+                    kind: SpanKind::PairRendezvous,
+                    job: 1,
+                    mate: 2,
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    size: 10,
+                    paired: true,
+                },
+            ),
+            rec(
+                7,
+                0,
+                TraceEvent::SpanOpen {
+                    span: 2,
+                    parent: 1,
+                    kind: SpanKind::Rpc(RpcKind::GetMateStatus),
+                    job: 1,
+                    mate: NO_JOB,
+                },
+            ),
+            rec(
+                7,
+                1,
+                TraceEvent::SpanOpen {
+                    span: 3,
+                    parent: 2,
+                    kind: SpanKind::RpcHandler(RpcKind::GetMateStatus),
+                    job: 1,
+                    mate: NO_JOB,
+                },
+            ),
+            rec(7, 1, TraceEvent::SpanClose { span: 3 }),
+            rec(7, 0, TraceEvent::SpanClose { span: 2 }),
+            rec(
+                9,
+                0,
+                TraceEvent::CoschedStart {
+                    job: 1,
+                    with_mate: true,
+                },
+            ),
+            rec(9, GLOBAL, TraceEvent::SpanClose { span: 1 }),
+        ]
+    }
+
+    fn parse(json: &str) -> Vec<Value> {
+        let v: Value = serde_json::from_str(json).expect("exporter must emit valid JSON");
+        v.get("traceEvents")
+            .expect("traceEvents key")
+            .as_array()
+            .expect("traceEvents must be an array")
+            .to_vec()
+    }
+
+    #[test]
+    fn emits_valid_json_with_required_keys() {
+        let json = render_perfetto(&sample_trace()).unwrap();
+        let events = parse(&json);
+        assert!(!events.is_empty());
+        for e in &events {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+            assert!(e.get("pid").and_then(Value::as_u64).is_some(), "{e}");
+            match ph {
+                "X" => {
+                    assert!(e.get("dur").and_then(Value::as_u64).is_some(), "{e}");
+                    assert!(e.get("ts").is_some(), "{e}");
+                }
+                "b" | "e" | "s" | "f" => {
+                    assert!(e.get("id").is_some(), "{e}");
+                    assert!(e.get("ts").is_some(), "{e}");
+                }
+                "i" => assert_eq!(e.get("s").and_then(Value::as_str), Some("t"), "{e}"),
+                "M" => assert!(e.get("args").is_some(), "{e}"),
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_spans_carry_cross_machine_flow_pairs() {
+        let json = render_perfetto(&sample_trace()).unwrap();
+        let events = parse(&json);
+        let flow_s: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("s"))
+            .collect();
+        let flow_f: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("f"))
+            .collect();
+        assert_eq!(flow_s.len(), 1);
+        assert_eq!(flow_f.len(), 1);
+        // Same flow id, different processes (machine 0 → machine 1).
+        assert_eq!(
+            flow_s[0].get("id").and_then(Value::as_u64),
+            flow_f[0].get("id").and_then(Value::as_u64)
+        );
+        assert_eq!(flow_s[0].get("pid").and_then(Value::as_u64), Some(1));
+        assert_eq!(flow_f[0].get("pid").and_then(Value::as_u64), Some(2));
+        assert_eq!(flow_f[0].get("bp").and_then(Value::as_str), Some("e"));
+    }
+
+    #[test]
+    fn pair_root_becomes_async_begin_end_in_coupled_process() {
+        let json = render_perfetto(&sample_trace()).unwrap();
+        let events = parse(&json);
+        let b: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("b"))
+            .collect();
+        let e_: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("e"))
+            .collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(e_.len(), 1);
+        assert_eq!(b[0].get("pid").and_then(Value::as_u64), Some(0));
+        assert_eq!(b[0].get("ts").and_then(Value::as_u64), Some(0));
+        // Close at t=9 with intra-instant seq 1 (second record at t=9).
+        assert_eq!(e_[0].get("ts").and_then(Value::as_u64), Some(9_000_001));
+    }
+
+    #[test]
+    fn intra_instant_sequence_keeps_causal_order() {
+        let json = render_perfetto(&sample_trace()).unwrap();
+        let events = parse(&json);
+        // The rpc X span opens at t=7 seq 0; the handler at t=7 seq 1 —
+        // strictly increasing ts despite identical sim time.
+        let xs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .filter_map(|e| e.get("ts").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(xs, vec![7_000_000, 7_000_001]);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = render_perfetto(&sample_trace()).unwrap();
+        let b = render_perfetto(&sample_trace()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -9,6 +9,7 @@
 //! through to the wire format.
 
 use cosched_obs::metrics::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+use cosched_proto::TransportMetrics;
 use std::fmt::Write as _;
 
 /// Sanitize a registry metric name into a legal Prometheus metric name.
@@ -60,14 +61,68 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     }
     for (name, h) in histograms {
         let _ = writeln!(out, "# TYPE {name} histogram");
-        let mut cumulative = 0u64;
-        for b in &h.buckets {
-            cumulative += b.count;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", b.le);
-        }
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-        let _ = writeln!(out, "{name}_sum {}", h.sum);
-        let _ = writeln!(out, "{name}_count {}", h.count);
+        render_histogram_series(&mut out, &name, None, h);
+    }
+    out
+}
+
+/// Append one histogram's cumulative bucket/sum/count series, optionally
+/// labeled (the `# TYPE` header is the caller's responsibility so several
+/// labeled series can share one family).
+fn render_histogram_series(
+    out: &mut String,
+    name: &str,
+    label: Option<(&str, &str)>,
+    h: &HistogramSnapshot,
+) {
+    let prefix = match label {
+        Some((k, v)) => format!("{k}=\"{v}\","),
+        None => String::new(),
+    };
+    let plain = match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+        None => String::new(),
+    };
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{}\"}} {cumulative}", b.le);
+    }
+    let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// Render an instrumented transport's activity
+/// ([`cosched_proto::TransportMetrics`]) to Prometheus text format:
+/// aggregate request/failure counters, per-kind call and timeout counters
+/// (as a `kind` label), and wall-clock latency histograms both aggregate
+/// and per kind. Per-kind series are emitted in the snapshot's order
+/// (fixed kind order), so equal snapshots render byte-identically.
+pub fn render_transport_prometheus(metrics: &TransportMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE cosched_rpc_requests_total counter");
+    let _ = writeln!(out, "cosched_rpc_requests_total {}", metrics.calls);
+    let _ = writeln!(out, "# TYPE cosched_rpc_failures_total counter");
+    let _ = writeln!(out, "cosched_rpc_failures_total {}", metrics.failures);
+    let _ = writeln!(out, "# TYPE cosched_rpc_calls_total counter");
+    for (kind, n) in &metrics.calls_by_kind {
+        let _ = writeln!(out, "cosched_rpc_calls_total{{kind=\"{kind}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE cosched_rpc_timeouts_total counter");
+    let _ = writeln!(out, "cosched_rpc_timeouts_total {}", metrics.timeouts);
+    for (kind, n) in &metrics.timeouts_by_kind {
+        let _ = writeln!(out, "cosched_rpc_timeouts_total{{kind=\"{kind}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE cosched_rpc_latency_ns histogram");
+    render_histogram_series(
+        &mut out,
+        "cosched_rpc_latency_ns",
+        None,
+        &metrics.latency_ns,
+    );
+    for (kind, h) in &metrics.latency_by_kind {
+        render_histogram_series(&mut out, "cosched_rpc_latency_ns", Some(("kind", kind)), h);
     }
     out
 }
@@ -115,6 +170,41 @@ mod tests {
         );
         assert!(text.contains("job_wait_secs_sum 1003"), "{text}");
         assert!(text.contains("job_wait_secs_count 4"), "{text}");
+    }
+
+    #[test]
+    fn renders_transport_metrics_with_kind_labels() {
+        use cosched_proto::{InstrumentedTransport, Request, Response, Transport};
+        let mut t =
+            InstrumentedTransport::new(cosched_proto::transport::Loopback(|_req: Request| {
+                Response::Pong
+            }));
+        t.call(&Request::Ping).unwrap();
+        t.call(&Request::Ping).unwrap();
+        t.call(&Request::GetMateJob {
+            for_job: cosched_workload::JobId(3),
+        })
+        .unwrap();
+        let text = render_transport_prometheus(&t.metrics());
+        assert!(text.contains("cosched_rpc_requests_total 3"), "{text}");
+        assert!(
+            text.contains("cosched_rpc_calls_total{kind=\"ping\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cosched_rpc_calls_total{kind=\"get_mate_job\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("cosched_rpc_timeouts_total 0"), "{text}");
+        assert!(
+            text.contains("cosched_rpc_latency_ns_bucket{kind=\"ping\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("cosched_rpc_latency_ns_count 3"), "{text}");
+        assert!(
+            text.contains("cosched_rpc_latency_ns_count{kind=\"get_mate_job\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

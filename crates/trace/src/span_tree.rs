@@ -1,0 +1,275 @@
+//! Rebuild the causal span tree from a flat trace.
+//!
+//! The driver emits `SpanOpen`/`SpanClose` records interleaved with the
+//! rest of the event stream; this module folds them back into a forest of
+//! [`SpanNode`]s. Intra-instant ordering matters (sim time only advances
+//! between events, so a whole rendezvous can happen "at" one second): each
+//! node keeps the record index of its open and close, which downstream
+//! consumers use as a deterministic tie-breaker.
+
+use cosched_obs::trace::{SpanKind, TraceRecord};
+use cosched_obs::{TraceEvent, NO_SPAN};
+use std::collections::BTreeMap;
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span id (unique within a trace, dense from 1).
+    pub id: u64,
+    /// Parent span id ([`NO_SPAN`] for roots).
+    pub parent: u64,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Machine the span was emitted on (`usize::MAX` = global).
+    pub machine: usize,
+    /// Subject job id (`u64::MAX` when not job-scoped).
+    pub job: u64,
+    /// Mate job id (`u64::MAX` when not applicable).
+    pub mate: u64,
+    /// Open sim time (seconds).
+    pub open: u64,
+    /// Record index of the open (intra-instant order).
+    pub open_seq: usize,
+    /// Close sim time, if the span closed before the trace ended.
+    pub close: Option<u64>,
+    /// Record index of the close.
+    pub close_seq: Option<usize>,
+    /// Child span ids, in open order.
+    pub children: Vec<u64>,
+}
+
+impl SpanNode {
+    /// Duration in sim seconds (0 for still-open or same-instant spans).
+    pub fn duration(&self) -> u64 {
+        self.close.map_or(0, |c| c.saturating_sub(self.open))
+    }
+}
+
+/// Errors from span-tree reconstruction — each indicates an emission bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanTreeError {
+    /// A span id was opened twice.
+    DuplicateOpen(u64),
+    /// A close arrived for an id that was never opened.
+    CloseWithoutOpen(u64),
+    /// A span closed twice.
+    DuplicateClose(u64),
+    /// A span's parent id does not exist in the trace.
+    UnknownParent { span: u64, parent: u64 },
+}
+
+impl std::fmt::Display for SpanTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpanTreeError::DuplicateOpen(id) => write!(f, "span {id} opened twice"),
+            SpanTreeError::CloseWithoutOpen(id) => write!(f, "span {id} closed but never opened"),
+            SpanTreeError::DuplicateClose(id) => write!(f, "span {id} closed twice"),
+            SpanTreeError::UnknownParent { span, parent } => {
+                write!(f, "span {span} parents under unknown span {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpanTreeError {}
+
+/// The reconstructed span forest of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    spans: BTreeMap<u64, SpanNode>,
+    roots: Vec<u64>,
+}
+
+impl SpanTree {
+    /// Fold a record stream into its span forest. Non-span events pass
+    /// through untouched; malformed span nesting is an error.
+    pub fn from_records(records: &[TraceRecord]) -> Result<SpanTree, SpanTreeError> {
+        let mut tree = SpanTree::default();
+        for (seq, rec) in records.iter().enumerate() {
+            match &rec.event {
+                TraceEvent::SpanOpen {
+                    span,
+                    parent,
+                    kind,
+                    job,
+                    mate,
+                } => {
+                    if tree.spans.contains_key(span) {
+                        return Err(SpanTreeError::DuplicateOpen(*span));
+                    }
+                    if *parent != NO_SPAN {
+                        match tree.spans.get_mut(parent) {
+                            Some(p) => p.children.push(*span),
+                            None => {
+                                return Err(SpanTreeError::UnknownParent {
+                                    span: *span,
+                                    parent: *parent,
+                                })
+                            }
+                        }
+                    } else {
+                        tree.roots.push(*span);
+                    }
+                    tree.spans.insert(
+                        *span,
+                        SpanNode {
+                            id: *span,
+                            parent: *parent,
+                            kind: *kind,
+                            machine: rec.machine,
+                            job: *job,
+                            mate: *mate,
+                            open: rec.time,
+                            open_seq: seq,
+                            close: None,
+                            close_seq: None,
+                            children: Vec::new(),
+                        },
+                    );
+                }
+                TraceEvent::SpanClose { span } => {
+                    let node = tree
+                        .spans
+                        .get_mut(span)
+                        .ok_or(SpanTreeError::CloseWithoutOpen(*span))?;
+                    if node.close.is_some() {
+                        return Err(SpanTreeError::DuplicateClose(*span));
+                    }
+                    node.close = Some(rec.time);
+                    node.close_seq = Some(seq);
+                }
+                _ => {}
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the trace carried no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Look up a span by id.
+    pub fn get(&self, id: u64) -> Option<&SpanNode> {
+        self.spans.get(&id)
+    }
+
+    /// All spans in id (= open) order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanNode> {
+        self.spans.values()
+    }
+
+    /// Root span ids in open order.
+    pub fn roots(&self) -> &[u64] {
+        &self.roots
+    }
+
+    /// Pair-rendezvous root spans in open order.
+    pub fn pair_roots(&self) -> impl Iterator<Item = &SpanNode> {
+        self.roots
+            .iter()
+            .filter_map(|id| self.spans.get(id))
+            .filter(|n| matches!(n.kind, SpanKind::PairRendezvous))
+    }
+
+    /// All descendants of `id` (depth-first, children in open order).
+    pub fn descendants(&self, id: u64) -> Vec<&SpanNode> {
+        let mut out = Vec::new();
+        let mut stack: Vec<u64> = match self.spans.get(&id) {
+            Some(n) => n.children.iter().rev().copied().collect(),
+            None => return out,
+        };
+        while let Some(next) = stack.pop() {
+            if let Some(node) = self.spans.get(&next) {
+                out.push(node);
+                stack.extend(node.children.iter().rev().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosched_obs::trace::RpcKind;
+    use cosched_obs::{GLOBAL, NO_JOB};
+
+    fn rec(time: u64, machine: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time,
+            machine,
+            event,
+        }
+    }
+
+    fn open(span: u64, parent: u64, kind: SpanKind) -> TraceEvent {
+        TraceEvent::SpanOpen {
+            span,
+            parent,
+            kind,
+            job: NO_JOB,
+            mate: NO_JOB,
+        }
+    }
+
+    #[test]
+    fn rebuilds_nesting_and_durations() {
+        let records = vec![
+            rec(10, GLOBAL, open(1, 0, SpanKind::PairRendezvous)),
+            rec(10, 0, open(2, 1, SpanKind::Rpc(RpcKind::GetMateStatus))),
+            rec(
+                10,
+                1,
+                open(3, 2, SpanKind::RpcHandler(RpcKind::GetMateStatus)),
+            ),
+            rec(10, 1, TraceEvent::SpanClose { span: 3 }),
+            rec(10, 0, TraceEvent::SpanClose { span: 2 }),
+            rec(25, GLOBAL, TraceEvent::SpanClose { span: 1 }),
+        ];
+        let tree = SpanTree::from_records(&records).unwrap();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.roots(), &[1]);
+        assert_eq!(tree.get(1).unwrap().children, vec![2]);
+        assert_eq!(tree.get(2).unwrap().children, vec![3]);
+        assert_eq!(tree.get(1).unwrap().duration(), 15);
+        assert_eq!(tree.get(3).unwrap().duration(), 0);
+        assert_eq!(tree.pair_roots().count(), 1);
+        let desc: Vec<u64> = tree.descendants(1).iter().map(|n| n.id).collect();
+        assert_eq!(desc, vec![2, 3]);
+    }
+
+    #[test]
+    fn open_span_survives_truncated_trace() {
+        let records = vec![rec(5, 0, open(1, 0, SpanKind::Hold))];
+        let tree = SpanTree::from_records(&records).unwrap();
+        assert_eq!(tree.get(1).unwrap().close, None);
+    }
+
+    #[test]
+    fn malformed_nesting_is_rejected() {
+        let dup = vec![
+            rec(1, 0, open(1, 0, SpanKind::Hold)),
+            rec(1, 0, open(1, 0, SpanKind::Hold)),
+        ];
+        assert_eq!(
+            SpanTree::from_records(&dup).unwrap_err(),
+            SpanTreeError::DuplicateOpen(1)
+        );
+        let orphan = vec![rec(1, 0, TraceEvent::SpanClose { span: 9 })];
+        assert_eq!(
+            SpanTree::from_records(&orphan).unwrap_err(),
+            SpanTreeError::CloseWithoutOpen(9)
+        );
+        let bad_parent = vec![rec(1, 0, open(2, 7, SpanKind::Hold))];
+        assert_eq!(
+            SpanTree::from_records(&bad_parent).unwrap_err(),
+            SpanTreeError::UnknownParent { span: 2, parent: 7 }
+        );
+    }
+}

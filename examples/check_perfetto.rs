@@ -1,0 +1,149 @@
+//! Well-formedness check for exported Chrome trace-event JSON — the CI
+//! smoke step behind `analyze export --format perfetto`.
+//!
+//! ```text
+//! cargo run --example check_perfetto -- /tmp/run.perfetto.json
+//! ```
+//!
+//! Validates, with no network and no Perfetto binary:
+//!
+//! * the file parses as JSON with a `traceEvents` array;
+//! * every event carries `ph` and `pid`, plus the per-phase required keys
+//!   (`ts`+`dur` for `X`, `ts`+`id` for `b`/`e`/`s`/`f`, `s` for `i`,
+//!   `args` for `M`);
+//! * every flow start (`s`) has a matching finish (`f`) with the same id —
+//!   and the pair crosses processes, since the exporter only draws flows
+//!   for cross-machine RPC edges;
+//! * async `b`/`e` pairs balance per id.
+//!
+//! Exits nonzero with a description of the first violation.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&raw).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+
+    // (id → (pid of s, pid of f)) for flow pairing; (id → balance) for b/e.
+    let mut flow_s: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut flow_f: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut async_balance: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no \"ph\": {e}"))?;
+        let pid = e
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i} ({ph}) has no numeric \"pid\": {e}"))?;
+        let need = |key: &str| {
+            e.get(key)
+                .ok_or_else(|| format!("event {i} ({ph}) lacks \"{key}\": {e}"))
+        };
+        let need_id = || {
+            e.get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event {i} ({ph}) lacks numeric \"id\": {e}"))
+        };
+        let ph_key = match ph {
+            "X" | "b" | "e" | "s" | "f" | "i" | "M" => ph,
+            other => return Err(format!("event {i} has unexpected ph {other:?}")),
+        };
+        *counts.entry(ph_key).or_insert(0) += 1;
+        match ph {
+            "X" => {
+                need("ts")?;
+                need("dur")?;
+                need("name")?;
+            }
+            "b" | "e" => {
+                need("ts")?;
+                *async_balance.entry(need_id()?).or_insert(0) += if ph == "b" { 1 } else { -1 };
+            }
+            "s" => {
+                need("ts")?;
+                if flow_s.insert(need_id()?, pid).is_some() {
+                    return Err(format!("duplicate flow start id at event {i}: {e}"));
+                }
+            }
+            "f" => {
+                need("ts")?;
+                if e.get("bp").and_then(Value::as_str) != Some("e") {
+                    return Err(format!("flow finish without bp:\"e\" at event {i}: {e}"));
+                }
+                if flow_f.insert(need_id()?, pid).is_some() {
+                    return Err(format!("duplicate flow finish id at event {i}: {e}"));
+                }
+            }
+            "i" => {
+                need("ts")?;
+                if e.get("s").and_then(Value::as_str).is_none() {
+                    return Err(format!("instant without scope \"s\" at event {i}: {e}"));
+                }
+            }
+            "M" => {
+                need("args")?;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    for (id, s_pid) in &flow_s {
+        let f_pid = flow_f
+            .get(id)
+            .ok_or_else(|| format!("flow start id {id} has no matching finish"))?;
+        if s_pid == f_pid {
+            return Err(format!(
+                "flow id {id} stays inside pid {s_pid} — RPC flows must cross machines"
+            ));
+        }
+    }
+    if let Some((id, _)) = flow_f.iter().find(|(id, _)| !flow_s.contains_key(id)) {
+        return Err(format!("flow finish id {id} has no matching start"));
+    }
+    for (id, balance) in &async_balance {
+        // An unclosed pair root legitimately exports `b` without `e`
+        // (balance +1); an `e` without `b` (negative) is malformed.
+        if *balance < 0 {
+            return Err(format!("async id {id} ends more than it begins"));
+        }
+    }
+
+    let summary: Vec<String> = counts.iter().map(|(ph, n)| format!("{ph}:{n}")).collect();
+    Ok(format!(
+        "{path}: {} events ok ({}) — {} cross-machine flow pair(s)",
+        events.len(),
+        summary.join(" "),
+        flow_s.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_perfetto <trace.perfetto.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_perfetto: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -47,7 +47,9 @@ pub mod prelude {
     pub use cosched_sched::machine::MachineConfig;
     pub use cosched_sched::policy::PolicyKind;
     pub use cosched_sim::{SimDuration, SimTime};
-    pub use cosched_trace::{AttributionReport, DiffReport, LifecycleSet};
+    pub use cosched_trace::{
+        AttributionReport, CriticalPathReport, DiffReport, LifecycleSet, SpanTree,
+    };
     pub use cosched_workload::job::{Job, JobId, MachineId};
     pub use cosched_workload::trace::Trace;
 }
