@@ -7,15 +7,24 @@ use cosched_core::{
 };
 use cosched_metrics::table::{num, pct, Table};
 use cosched_obs::metrics::HistogramSnapshot;
-use cosched_obs::{read_trace_file, JsonlSink, MetricsSnapshot, PhaseSnapshot, SinkObserver};
+use cosched_obs::monitor::{StreamingMonitor, TelemetrySnapshot};
+use cosched_obs::{
+    default_rules, read_trace_file, AlertRule, JsonlSink, MetricsSnapshot, PhaseSnapshot,
+    SinkObserver, TeeObserver,
+};
 use cosched_sched::MachineConfig;
 use cosched_sim::{SimDuration, SimRng};
+use cosched_telemetry::{
+    http_get, render_dashboard, Health, MonitorProvider, TelemetryProvider, TelemetryServer,
+};
 use cosched_workload::{
     pairing, swf, JobId, MachineId, MachineModel, MateRef, Trace, TraceGenerator,
 };
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A pairs file: the association sidecar SWF cannot carry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +42,7 @@ pub fn run_command(parsed: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         "simulate" => cmd_simulate(parsed, out),
         "analyze" => cmd_analyze(parsed, out),
         "bench" => cmd_bench(parsed, out),
+        "watch" => cmd_watch(parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -43,7 +53,7 @@ pub fn run_command(parsed: &Parsed, out: &mut dyn Write) -> Result<(), String> {
 
 /// Boolean switches (options that take no value) recognised by the CLI;
 /// `main` passes this to [`crate::args::parse_with_flags`].
-pub const FLAGS: &[&str] = &["metrics"];
+pub const FLAGS: &[&str] = &["metrics", "once"];
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -59,6 +69,17 @@ USAGE:
                    [--combo <HH|HY|YH|YY|off>] [--capacity-a N] [--capacity-b N]
                    [--release-mins M] [--json <report.json>]
                    [--trace-out <trace.jsonl>] [--metrics]
+                   [--telemetry <host:port>] [--alerts <rules>]
+                   [--telemetry-linger-secs S]
+
+Live telemetry (streaming monitor + embedded HTTP endpoints):
+  --telemetry 127.0.0.1:9184 serves GET /metrics (Prometheus 0.0.4),
+  /healthz (liveness), and /state (JSON snapshot) while the run executes;
+  --alerts takes \";\"-separated rules like
+  \"pressure: held_node_proportion > 0.4 for 10m; machine0.queued >= 50\"
+  (default rules apply when omitted).
+  cosched watch <host:port> [--interval-secs S] [--once]
+      polls /state and renders a refreshing terminal dashboard.
 
 Trace analysis (over JSONL traces from `simulate --trace-out`):
   cosched analyze timeline      --trace <t.jsonl> [--width N] [--rows N] [--capacity N]
@@ -71,7 +92,8 @@ Trace analysis (over JSONL traces from `simulate --trace-out`):
 Benchmarks:
   cosched bench campaign [--scale <smoke|quick|full>] [--threads 1,2,4]
                          [--sweep <load|prop|both>] [--out <BENCH_sim.json>]
-                         [--check <BENCH_sim.json>] [--tolerance X]";
+                         [--check <BENCH_sim.json>] [--tolerance X]
+                         [--telemetry <host:port>]";
 
 fn cmd_generate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     p.no_subcommand("generate")?;
@@ -259,6 +281,114 @@ fn cmd_analyze_export_prom(p: &Parsed, out: &mut dyn Write) -> Result<(), String
     Ok(())
 }
 
+/// Poll a telemetry endpoint and render the terminal dashboard. With
+/// `--once` a single frame is printed (CI and tests); otherwise the screen
+/// is cleared and redrawn every `--interval-secs` until the run finishes.
+fn cmd_watch(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
+    p.allow_only(&["interval-secs", "once"])?;
+    let addr = p
+        .subcommand
+        .as_deref()
+        .ok_or("watch needs an address: cosched watch <host:port> [--once]")?;
+    let interval: u64 = p.get_or("interval-secs", 2)?;
+    if interval == 0 {
+        return Err("bad --interval-secs 0 (must be positive)".to_string());
+    }
+    let once = p.flag("once");
+    loop {
+        let (code, body) = http_get(addr, "/state", Duration::from_secs(5))?;
+        if code != 200 {
+            return Err(format!("{addr}/state answered HTTP {code}"));
+        }
+        let snap: TelemetrySnapshot = serde_json::from_str(&body)
+            .map_err(|e| format!("{addr}/state is not a telemetry snapshot: {e}"))?;
+        if !once {
+            // Clear screen and home the cursor between frames.
+            let _ = write!(out, "\x1b[2J\x1b[H");
+        }
+        let _ = write!(out, "{}", render_dashboard(&snap, addr));
+        if once || snap.done {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs(interval));
+    }
+}
+
+/// Shared campaign progress state behind the bench telemetry endpoint.
+#[derive(Debug, Default)]
+struct CampaignProgressState {
+    sweeps_total: u64,
+    sweeps_done: u64,
+    current: String,
+    cells: u64,
+    done: bool,
+}
+
+/// [`TelemetryProvider`] for `bench campaign --telemetry`: coarse progress
+/// (sweeps completed, cells simulated) rather than per-event telemetry —
+/// campaign cells run in worker threads with their own observers.
+#[derive(Debug, Clone, Default)]
+struct CampaignProgress {
+    state: Arc<Mutex<CampaignProgressState>>,
+}
+
+impl CampaignProgress {
+    fn update(&self, f: impl FnOnce(&mut CampaignProgressState)) {
+        f(&mut self.state.lock().expect("progress lock"));
+    }
+}
+
+impl TelemetryProvider for CampaignProgress {
+    fn metrics_text(&self) -> String {
+        let st = self.state.lock().expect("progress lock");
+        let mut w = cosched_trace::PromWriter::new();
+        w.gauge(
+            "cosched_bench_sweeps_total",
+            "Sweeps requested for this campaign.",
+            &[],
+            st.sweeps_total as f64,
+        );
+        w.gauge(
+            "cosched_bench_sweeps_done",
+            "Sweeps completed so far.",
+            &[],
+            st.sweeps_done as f64,
+        );
+        w.gauge(
+            "cosched_bench_cells_total",
+            "Simulation cells completed across finished sweeps.",
+            &[],
+            st.cells as f64,
+        );
+        w.gauge(
+            "cosched_bench_done",
+            "1 once the whole campaign has finished.",
+            &[],
+            if st.done { 1.0 } else { 0.0 },
+        );
+        w.finish()
+    }
+
+    fn state_json(&self) -> String {
+        let st = self.state.lock().expect("progress lock");
+        format!(
+            "{{\"sweeps_total\":{},\"sweeps_done\":{},\"current\":{:?},\"cells\":{},\"done\":{}}}",
+            st.sweeps_total, st.sweeps_done, st.current, st.cells, st.done
+        )
+    }
+
+    fn health(&self) -> Health {
+        let st = self.state.lock().expect("progress lock");
+        Health {
+            ok: true,
+            status: if st.done { "done" } else { "running" }.to_string(),
+            done: st.done,
+            drained: st.done,
+            deadlocked: false,
+        }
+    }
+}
+
 fn cmd_bench(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     match p.subcommand.as_deref() {
         Some("campaign") => cmd_bench_campaign(p, out),
@@ -286,7 +416,15 @@ struct BenchSimFile {
 /// parallel runs are outcome-identical to serial and recording wall-clock,
 /// throughput, and one representative cell's phase profile.
 fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
-    p.allow_only(&["scale", "threads", "sweep", "out", "check", "tolerance"])?;
+    p.allow_only(&[
+        "scale",
+        "threads",
+        "sweep",
+        "out",
+        "check",
+        "tolerance",
+        "telemetry",
+    ])?;
     let scale_label = p.get("scale").unwrap_or("smoke");
     let scale = match scale_label {
         "smoke" => Scale::smoke(),
@@ -314,8 +452,28 @@ fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
     };
 
     let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Optional coarse progress endpoint: sweeps completed and cells
+    // simulated, scrapable while the campaign runs.
+    let progress = CampaignProgress::default();
+    progress.update(|st| st.sweeps_total = kinds.len() as u64);
+    let telemetry = match p.get("telemetry") {
+        Some(addr) => {
+            let server = TelemetryServer::spawn(addr, progress.clone())
+                .map_err(|e| format!("cannot serve telemetry on {addr}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "telemetry: serving /metrics /healthz /state on http://{}",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
     let mut campaigns = Vec::new();
     for &kind in kinds {
+        progress.update(|st| st.current = kind.label().to_string());
         let _ = writeln!(
             out,
             "campaign {} (scale {scale_label}: {} days x {} seeds, {} hardware threads)",
@@ -343,8 +501,13 @@ fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
                 kind.label()
             ));
         }
+        progress.update(|st| {
+            st.sweeps_done += 1;
+            st.cells += report.cells as u64;
+        });
         campaigns.push(report);
     }
+    progress.update(|st| st.done = true);
 
     // Regression gate: compare against a committed baseline artifact.
     // Wall-clock is tolerance-based (CI hosts are noisy); a determinism
@@ -397,6 +560,7 @@ fn cmd_bench_campaign(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         std::fs::write(dest, json.as_bytes()).map_err(|e| format!("cannot write {dest}: {e}"))?;
         let _ = writeln!(out, "wrote benchmark report to {dest}");
     }
+    drop(telemetry);
     Ok(())
 }
 
@@ -522,6 +686,9 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         "json",
         "trace-out",
         "metrics",
+        "telemetry",
+        "alerts",
+        "telemetry-linger-secs",
     ])?;
     let mut a = load_trace(p.require("a")?, MachineId(0))?;
     let mut b = load_trace(p.require("b")?, MachineId(1))?;
@@ -558,11 +725,61 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
         },
         max_events: 50_000_000,
     };
+    // Optional live telemetry plane: a streaming monitor teed into the
+    // observer chain plus an embedded HTTP server scraping it. The monitor
+    // is a pure consumer, so attaching it changes neither the report nor
+    // the primary trace bytes.
+    let linger: u64 = p.get_or("telemetry-linger-secs", 0)?;
+    let telemetry = match p.get("telemetry") {
+        Some(addr) => {
+            let rules = match p.get("alerts") {
+                Some(spec) => AlertRule::parse_list(spec)?,
+                None => default_rules(),
+            };
+            let monitor = StreamingMonitor::with_rules(rules).with_capacities(&[cap_a, cap_b]);
+            let server = TelemetryServer::spawn(addr, MonitorProvider::new(monitor.clone()))
+                .map_err(|e| format!("cannot serve telemetry on {addr}: {e}"))?;
+            Some((monitor, server))
+        }
+        None => {
+            for key in ["alerts", "telemetry-linger-secs"] {
+                if p.get(key).is_some() {
+                    return Err(format!("--{key} requires --telemetry <host:port>"));
+                }
+            }
+            None
+        }
+    };
+    if let Some((_, server)) = &telemetry {
+        let _ = writeln!(
+            out,
+            "telemetry: serving /metrics /healthz /state on http://{}",
+            server.addr()
+        );
+    }
+
     // With --trace-out the run streams JSONL trace records to a file; the
     // deterministic report is identical either way (observers are pure
-    // consumers), so both branches reduce to the same artifact tuple.
-    let (report, profile, rpc_latency, trace_note) = match p.get("trace-out") {
-        Some(path) => {
+    // consumers), so all branches reduce to the same artifact tuple. When
+    // both a trace sink and a monitor are attached, the sink rides first in
+    // the tee so the primary trace is written byte-for-byte as without
+    // telemetry.
+    let (report, profile, rpc_latency, trace_note) = match (p.get("trace-out"), &telemetry) {
+        (Some(path), Some((monitor, _))) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let observer = TeeObserver::new(SinkObserver::new(sink), monitor.clone());
+            let arts = CoupledSimulation::with_observer(config, [a, b], observer).run_traced();
+            let lines = arts.observer.first.sink().lines();
+            (
+                arts.report,
+                arts.profile,
+                arts.rpc_latency_ns,
+                Some((path.to_string(), lines)),
+            )
+        }
+        (Some(path), None) => {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
             let sink = JsonlSink::new(std::io::BufWriter::new(file));
@@ -576,11 +793,27 @@ fn cmd_simulate(p: &Parsed, out: &mut dyn Write) -> Result<(), String> {
                 Some((path.to_string(), lines)),
             )
         }
-        None => {
+        (None, Some((monitor, _))) => {
+            let arts =
+                CoupledSimulation::with_observer(config, [a, b], monitor.clone()).run_traced();
+            (arts.report, arts.profile, arts.rpc_latency_ns, None)
+        }
+        (None, None) => {
             let arts = CoupledSimulation::new(config, [a, b]).run_traced();
             (arts.report, arts.profile, arts.rpc_latency_ns, None)
         }
     };
+    if let Some((monitor, server)) = &telemetry {
+        monitor.finish(report.deadlocked);
+        if linger > 0 {
+            let _ = writeln!(
+                out,
+                "telemetry: run finished, serving final state on http://{} for {linger}s",
+                server.addr()
+            );
+            std::thread::sleep(Duration::from_secs(linger));
+        }
+    }
 
     let mut table = Table::new(
         format!(
@@ -1073,5 +1306,147 @@ mod tests {
     fn help_prints_usage() {
         let out = run("help").unwrap();
         assert!(out.contains("USAGE"), "{out}");
+    }
+
+    /// `--telemetry` must not perturb the primary trace: same-seed runs
+    /// with and without the monitor teed produce byte-identical JSONL.
+    #[test]
+    fn simulate_telemetry_keeps_trace_byte_identical() {
+        let a = tmp("tele_a.swf");
+        let b = tmp("tele_b.swf");
+        let pairs = tmp("tele_pairs.json");
+        let plain = tmp("tele_plain.jsonl");
+        let teed = tmp("tele_teed.jsonl");
+        run(&format!(
+            "generate --machine eureka --out {a} --days 2 --util 0.5 --seed 3"
+        ))
+        .unwrap();
+        run(&format!(
+            "generate --machine eureka --out {b} --days 2 --util 0.4 --seed 4"
+        ))
+        .unwrap();
+        run(&format!(
+            "pair --a {a} --b {b} --out {pairs} --proportion 0.2 --seed 5"
+        ))
+        .unwrap();
+        run(&format!(
+            "simulate --a {a} --b {b} --pairs {pairs} --combo HY --capacity-a 100 \
+             --capacity-b 100 --trace-out {plain}"
+        ))
+        .unwrap();
+        let out = run(&format!(
+            "simulate --a {a} --b {b} --pairs {pairs} --combo HY --capacity-a 100 \
+             --capacity-b 100 --trace-out {teed} --telemetry 127.0.0.1:0"
+        ))
+        .unwrap();
+        assert!(out.contains("telemetry: serving"), "{out}");
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&teed).unwrap(),
+            "teeing the monitor changed the primary trace"
+        );
+    }
+
+    #[test]
+    fn simulate_rejects_alert_options_without_telemetry() {
+        let a = tmp("telereq_a.swf");
+        run(&format!(
+            "generate --machine eureka --out {a} --days 1 --seed 12"
+        ))
+        .unwrap();
+        let err = run(&format!(
+            "simulate --a {a} --b {a} --combo off --capacity-a 100 --capacity-b 100 \
+             --alerts {}",
+            "queued>0"
+        ))
+        .unwrap_err();
+        assert!(err.contains("requires --telemetry"), "{err}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_alert_rule() {
+        let a = tmp("telebad_a.swf");
+        run(&format!(
+            "generate --machine eureka --out {a} --days 1 --seed 13"
+        ))
+        .unwrap();
+        let err = run(&format!(
+            "simulate --a {a} --b {a} --combo off --capacity-a 100 --capacity-b 100 \
+             --telemetry 127.0.0.1:0 --alerts nonsense"
+        ))
+        .unwrap_err();
+        assert!(!err.is_empty(), "{err}");
+    }
+
+    #[test]
+    fn watch_once_renders_dashboard_from_live_server() {
+        use cosched_obs::monitor::StreamingMonitor;
+        use cosched_obs::trace::TraceEvent;
+        use cosched_obs::Observer;
+        use cosched_telemetry::{MonitorProvider, TelemetryServer};
+
+        let mut monitor = StreamingMonitor::new().with_capacities(&[64]);
+        monitor.record(
+            0,
+            0,
+            TraceEvent::JobSubmitted {
+                job: 1,
+                size: 32,
+                paired: false,
+            },
+        );
+        monitor.record(
+            5,
+            0,
+            TraceEvent::CoschedStart {
+                job: 1,
+                with_mate: false,
+            },
+        );
+        let mut server =
+            TelemetryServer::spawn("127.0.0.1:0", MonitorProvider::new(monitor.clone())).unwrap();
+        let addr = server.addr().to_string();
+        let out = run(&format!("watch {addr} --once")).unwrap();
+        assert!(out.contains("cosched watch"), "{out}");
+        assert!(out.contains("machine 0"), "{out}");
+        assert!(out.contains("1 running"), "{out}");
+        // A single frame never emits the clear-screen escape.
+        assert!(!out.contains('\x1b'), "{out:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn watch_requires_an_address() {
+        let err = run("watch --once").unwrap_err();
+        assert!(err.contains("watch needs an address"), "{err}");
+    }
+
+    #[test]
+    fn bench_campaign_serves_progress_telemetry() {
+        let progress = CampaignProgress::default();
+        progress.update(|st| {
+            st.sweeps_total = 2;
+            st.sweeps_done = 1;
+            st.current = "load".to_string();
+            st.cells = 40;
+        });
+        let text = progress.metrics_text();
+        assert!(
+            text.contains("# TYPE cosched_bench_sweeps_done gauge"),
+            "{text}"
+        );
+        assert!(text.contains("cosched_bench_cells_total 40"), "{text}");
+        let health = progress.health();
+        assert!(health.ok);
+        assert_eq!(health.status, "running");
+        let json: serde_json::Value = serde_json::from_str(&progress.state_json()).unwrap();
+        assert_eq!(json["sweeps_done"], 1);
+        assert_eq!(json["current"], "load");
+
+        // The real command accepts the option and reports the endpoint.
+        let out =
+            run("bench campaign --scale smoke --threads 1 --sweep load --telemetry 127.0.0.1:0")
+                .unwrap();
+        assert!(out.contains("telemetry: serving"), "{out}");
     }
 }

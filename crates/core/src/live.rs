@@ -16,6 +16,8 @@ use crate::algorithm::{run_job, Decision, LocalContext};
 use crate::config::CoschedConfig;
 use crate::registry::MateRegistry;
 use cosched_metrics::JobRecord;
+use cosched_obs::monitor::StreamingMonitor;
+use cosched_obs::{Observer, TraceEvent};
 use cosched_proto::{DomainService, MateStatus, Request, Response, SpanContext, Transport};
 use cosched_sched::{JobStatus, Machine};
 use cosched_sim::SimTime;
@@ -34,6 +36,21 @@ struct Inner {
     /// through the transport's `TracedRequest` frames) — lets operators
     /// correlate this domain's handler work with the peer's causal spans.
     peer_spans: Vec<u64>,
+    /// Attached streaming monitor ([`LiveDomain::attach_telemetry`]); the
+    /// daemon reports lifecycle transitions into it so `/metrics`,
+    /// `/state`, and alert rules see live domains exactly as they see
+    /// simulated ones.
+    monitor: Option<StreamingMonitor>,
+}
+
+impl Inner {
+    /// Report one event into the attached monitor (no-op when detached).
+    fn tell(&mut self, now: SimTime, event: TraceEvent) {
+        let index = self.machine.config().machine.0;
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.record(now.as_secs(), index, event);
+        }
+    }
 }
 
 /// One scheduling domain of a live coupled system. Cheap to clone (shared
@@ -61,13 +78,35 @@ impl LiveDomain {
                 peer,
                 ends: Vec::new(),
                 peer_spans: Vec::new(),
+                monitor: None,
             })),
         }
     }
 
+    /// Attach a streaming monitor: the domain reports submits, Algorithm 1
+    /// transitions (start/hold/yield, forced releases), and completions
+    /// into it, and registers its capacity under its machine index. Serve
+    /// the same monitor via `cosched_telemetry` to expose the daemon's
+    /// `/metrics`, `/healthz`, and `/state`.
+    pub fn attach_telemetry(&self, monitor: StreamingMonitor) {
+        let mut g = self.inner.lock();
+        let config = g.machine.config();
+        monitor.set_capacity(config.machine.0, config.capacity);
+        g.monitor = Some(monitor);
+    }
+
     /// Submit a job locally.
     pub fn submit(&self, job: Job, now: SimTime) {
-        self.inner.lock().machine.submit(job, now);
+        let mut g = self.inner.lock();
+        let own = g.machine.config().machine;
+        let paired = g.registry.mate_of(own, job.id).is_some();
+        let event = TraceEvent::JobSubmitted {
+            job: job.id.0,
+            size: job.size,
+            paired,
+        };
+        g.machine.submit(job, now);
+        g.tell(now, event);
     }
 
     /// Answer one incoming protocol request at local time `now`.
@@ -88,6 +127,13 @@ impl LiveDomain {
             Request::TryStartMate { job } => match g.machine.try_start_direct(job, now) {
                 Some(end) => {
                     g.ends.push((job, end));
+                    g.tell(
+                        now,
+                        TraceEvent::CoschedStart {
+                            job: job.0,
+                            with_mate: true,
+                        },
+                    );
                     Response::Started(true)
                 }
                 None => Response::Started(false),
@@ -100,6 +146,13 @@ impl LiveDomain {
                 match started {
                     Some(end) => {
                         g.ends.push((job, end));
+                        g.tell(
+                            now,
+                            TraceEvent::CoschedStart {
+                                job: job.0,
+                                with_mate: true,
+                            },
+                        );
                         Response::Started(true)
                     }
                     None => Response::Started(false),
@@ -174,12 +227,37 @@ impl LiveDomain {
             // Phase 3: commit under the lock.
             let mut g = self.inner.lock();
             match decision {
-                Decision::Start { .. } => {
+                Decision::Start { mate_started } => {
                     let end = g.machine.start(cand, now);
                     g.ends.push((job.id, end));
+                    g.tell(
+                        now,
+                        TraceEvent::CoschedStart {
+                            job: job.id.0,
+                            with_mate: mate_started.is_some(),
+                        },
+                    );
                 }
-                Decision::Hold => g.machine.hold(cand, now),
-                Decision::Yield => g.machine.yield_job(cand, now),
+                Decision::Hold => {
+                    g.machine.hold(cand, now);
+                    g.tell(
+                        now,
+                        TraceEvent::CoschedHoldPlaced {
+                            job: job.id.0,
+                            nodes: job.size,
+                        },
+                    );
+                }
+                Decision::Yield => {
+                    g.machine.yield_job(cand, now);
+                    g.tell(
+                        now,
+                        TraceEvent::CoschedYield {
+                            job: job.id.0,
+                            yields_so_far: yields_so_far + 1,
+                        },
+                    );
+                }
             }
         }
     }
@@ -200,8 +278,20 @@ impl LiveDomain {
             })
             .copied()
             .collect();
+        let held_before = g.machine.held_jobs().len();
+        let released = due.len();
         for id in due {
             g.machine.release_held(id, now);
+            g.tell(now, TraceEvent::CoschedDeadlockDemotion { job: id.0 });
+        }
+        if released > 0 {
+            g.tell(
+                now,
+                TraceEvent::CoschedReleaseSweep {
+                    released,
+                    held_before,
+                },
+            );
         }
     }
 
@@ -222,6 +312,7 @@ impl LiveDomain {
         let n = due.len();
         for (id, end) in due {
             g.machine.finish(id, end);
+            g.tell(end, TraceEvent::JobEnded { job: id.0 });
         }
         n
     }
@@ -377,6 +468,72 @@ mod tests {
         drop(to_a);
         t_a.join().unwrap();
         t_b.join().unwrap();
+    }
+
+    /// A monitor attached to live domains sees the same lifecycle the
+    /// domains execute: submits, the hold, the synchronized start, ends.
+    #[test]
+    fn attached_monitor_tracks_live_pair() {
+        let monitor = StreamingMonitor::new();
+        let a = LiveDomain::new(
+            Machine::new(MachineConfig::flat("A", MachineId(0), 10)),
+            CoschedConfig::paper(Scheme::Hold),
+            registry_with_pair(),
+            MachineId(1),
+        );
+        let b = LiveDomain::new(
+            Machine::new(MachineConfig::flat("B", MachineId(1), 10)),
+            CoschedConfig::paper(Scheme::Hold),
+            registry_with_pair(),
+            MachineId(0),
+        );
+        a.attach_telemetry(monitor.clone());
+        b.attach_telemetry(monitor.clone());
+        let snap = monitor.snapshot();
+        assert_eq!(snap.machines.len(), 2, "capacities registered");
+        assert_eq!(snap.machines[0].capacity, 10);
+
+        let (mut to_b, server_b) = inproc::pair(Duration::from_secs(1));
+        let b_svc = b.clone();
+        let t_b = std::thread::spawn(move || {
+            let mut svc = b_svc.service(|| SimTime::ZERO);
+            server_b.serve(&mut svc);
+        });
+        a.submit(job(0, 1, 4, 60), SimTime::ZERO);
+        a.pump(SimTime::ZERO, &mut to_b);
+        let snap = monitor.snapshot();
+        assert_eq!((snap.held, snap.holds_placed), (1, 1), "A holds for mate");
+
+        b.submit(job(1, 1, 4, 60), SimTime::ZERO);
+        b.pump(SimTime::ZERO, &mut to_a_stub(&a));
+        let snap = monitor.snapshot();
+        assert_eq!(snap.running, 2, "pair started on both machines");
+        assert_eq!(snap.held, 0);
+
+        let t60 = SimTime::from_secs(60);
+        a.complete_due(t60);
+        b.complete_due(t60);
+        monitor.finish(false);
+        let snap = monitor.snapshot();
+        assert_eq!(snap.finished, 2);
+        assert!(snap.drained() && snap.done && !snap.deadlocked);
+        // 4 nodes × 60 s on each machine.
+        assert_eq!(snap.machines[0].used_node_seconds, 240);
+        assert_eq!(snap.machines[1].used_node_seconds, 240);
+
+        drop(to_b);
+        t_b.join().unwrap();
+    }
+
+    /// Direct (no thread) transport into domain `a` for tests.
+    fn to_a_stub(a: &LiveDomain) -> impl Transport + '_ {
+        struct Direct<'d>(&'d LiveDomain);
+        impl Transport for Direct<'_> {
+            fn call(&mut self, req: &Request) -> Result<Response, cosched_proto::ProtoError> {
+                Ok(self.0.handle(req.clone(), SimTime::ZERO))
+            }
+        }
+        Direct(a)
     }
 
     #[test]

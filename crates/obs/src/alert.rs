@@ -1,0 +1,485 @@
+//! Declarative alert rules evaluated over live telemetry.
+//!
+//! A rule is a threshold condition over one telemetry metric, optionally
+//! with a *hold duration*: `held_node_proportion > 0.4 for 10m` raises
+//! only after the condition has held continuously for ten sim-minutes, and
+//! resolves at the first evaluation where it no longer holds. Rules read
+//! run-wide metrics by default; prefixing the metric with `machineN.`
+//! scopes it to one machine (`machine0.queue_age_secs > 3600`). Rules are
+//! evaluated on sim-time ticks by the [`crate::monitor::StreamingMonitor`],
+//! so alert timing is a deterministic function of the event stream: the
+//! same run raises and resolves the same alerts at the same sim instants.
+//!
+//! Transitions are expressed as [`TraceEvent::AlertRaised`] /
+//! [`TraceEvent::AlertResolved`] records. They live in the monitor's own
+//! history (surfaced via `/metrics` and `/state`), never in the primary
+//! trace stream — alerting cannot perturb the deterministic trace.
+
+use crate::trace::{TraceEvent, TraceRecord, GLOBAL};
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of a rule condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl AlertOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AlertOp::Gt => ">",
+            AlertOp::Ge => ">=",
+            AlertOp::Lt => "<",
+            AlertOp::Le => "<=",
+        }
+    }
+
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Gt => value > threshold,
+            AlertOp::Ge => value >= threshold,
+            AlertOp::Lt => value < threshold,
+            AlertOp::Le => value <= threshold,
+        }
+    }
+}
+
+/// One declarative threshold rule.
+///
+/// Parsed from `[name: ] [machineN.]metric <op> threshold [for <duration>]`,
+/// e.g. `high-held: held_node_proportion > 0.4 for 10m`. Without an
+/// explicit name the condition itself becomes the name
+/// (`held_node_proportion>0.4`). Durations take `s`/`m`/`h` suffixes (bare
+/// numbers are seconds); omitting `for` means the rule fires at the first
+/// tick its condition holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Display name (label value in `/metrics`, key in `/state`).
+    pub name: String,
+    /// Telemetry metric the condition reads (see
+    /// [`crate::monitor::TelemetrySnapshot::metric`] for the vocabulary).
+    pub metric: String,
+    /// Scope the metric is read in: [`GLOBAL`] (run-wide, the default) or a
+    /// machine index from a `machineN.` prefix.
+    pub machine: usize,
+    /// Comparison operator.
+    pub op: AlertOp,
+    /// Threshold the metric is compared against.
+    pub threshold: f64,
+    /// Sim-seconds the condition must hold continuously before raising.
+    pub for_secs: u64,
+}
+
+impl AlertRule {
+    /// Build a run-wide rule programmatically; the name is derived from
+    /// the condition.
+    pub fn new(metric: &str, op: AlertOp, threshold: f64) -> Self {
+        AlertRule {
+            name: format!("{metric}{}{threshold}", op.symbol()),
+            metric: metric.to_string(),
+            machine: GLOBAL,
+            op,
+            threshold,
+            for_secs: 0,
+        }
+    }
+
+    /// Set the hold duration (sim-seconds).
+    pub fn for_secs(mut self, secs: u64) -> Self {
+        self.for_secs = secs;
+        self
+    }
+
+    /// Scope the rule to one machine's metrics.
+    pub fn on_machine(mut self, machine: usize) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Parse the textual rule syntax.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed part: missing operator, bad
+    /// threshold, bad duration, or bad machine prefix.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        // Optional `name:` prefix (the name may not contain the operator).
+        let (name, cond) = match text.split_once(':') {
+            Some((n, rest)) if !n.contains(['>', '<']) => (Some(n.trim().to_string()), rest.trim()),
+            _ => (None, text),
+        };
+        // Longest-match the operator so `>=` is not read as `>` + `=`.
+        let (op, op_at, op_len) = ["<=", ">=", "<", ">"]
+            .iter()
+            .find_map(|sym| cond.find(sym).map(|at| (*sym, at, sym.len())))
+            .ok_or_else(|| format!("rule {text:?} has no comparison operator (<, <=, >, >=)"))?;
+        let op = match op {
+            ">" => AlertOp::Gt,
+            ">=" => AlertOp::Ge,
+            "<" => AlertOp::Lt,
+            "<=" => AlertOp::Le,
+            _ => unreachable!(),
+        };
+        let mut metric = cond[..op_at].trim();
+        if metric.is_empty() {
+            return Err(format!("rule {text:?} names no metric"));
+        }
+        // Optional `machineN.` scope prefix.
+        let mut machine = GLOBAL;
+        if let Some((scope, rest)) = metric.split_once('.') {
+            if let Some(index) = scope.strip_prefix("machine") {
+                machine = index
+                    .parse()
+                    .map_err(|_| format!("rule {text:?}: bad machine scope {scope:?}"))?;
+                metric = rest.trim();
+            }
+        }
+        let rest = cond[op_at + op_len..].trim();
+        let (threshold_text, for_secs) = match rest.split_once(" for ") {
+            Some((t, dur)) => (t.trim(), parse_duration(dur.trim())?),
+            None => (rest, 0),
+        };
+        let threshold: f64 = threshold_text
+            .parse()
+            .map_err(|_| format!("rule {text:?}: bad threshold {threshold_text:?}"))?;
+        let mut rule = AlertRule::new(metric, op, threshold)
+            .for_secs(for_secs)
+            .on_machine(machine);
+        if let Some(name) = name {
+            rule.name = name;
+        }
+        Ok(rule)
+    }
+
+    /// Parse a `;`-separated rule list (the CLI's `--alerts` value),
+    /// skipping empty entries.
+    pub fn parse_list(text: &str) -> Result<Vec<Self>, String> {
+        text.split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Self::parse)
+            .collect()
+    }
+
+    /// The condition, re-rendered.
+    pub fn condition(&self) -> String {
+        let scope = if self.machine == GLOBAL {
+            String::new()
+        } else {
+            format!("machine{}.", self.machine)
+        };
+        let mut s = format!(
+            "{scope}{} {} {}",
+            self.metric,
+            self.op.symbol(),
+            self.threshold
+        );
+        if self.for_secs > 0 {
+            s.push_str(&format!(" for {}s", self.for_secs));
+        }
+        s
+    }
+}
+
+/// Parse `90`, `90s`, `10m`, or `2h` into seconds.
+fn parse_duration(text: &str) -> Result<u64, String> {
+    let (digits, unit) = match text.find(|c: char| !c.is_ascii_digit()) {
+        Some(at) => text.split_at(at),
+        None => (text, ""),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration {text:?}"))?;
+    match unit {
+        "" | "s" => Ok(n),
+        "m" => Ok(n * 60),
+        "h" => Ok(n * 3_600),
+        other => Err(format!("bad duration unit {other:?} in {text:?} (s|m|h)")),
+    }
+}
+
+/// A sensible default rule set for coupled coscheduling runs: held-capacity
+/// pressure, starving queues, and protocol failures.
+pub fn default_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::parse("held-pressure: held_node_proportion > 0.4 for 10m").expect("static"),
+        AlertRule::parse("queue-starvation: queue_age_secs > 14400 for 10m").expect("static"),
+        AlertRule::parse("rpc-timeouts: rpc_timeouts > 0").expect("static"),
+    ]
+}
+
+/// A currently firing alert, as exposed in `/state` and `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveAlert {
+    /// Rule name.
+    pub rule: String,
+    /// Scope the rule fired in: a machine index, or [`GLOBAL`].
+    pub machine: usize,
+    /// Sim time the alert raised.
+    pub since: u64,
+    /// Metric reading at the most recent evaluation.
+    pub value: f64,
+}
+
+/// Per-rule evaluation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleState {
+    /// Sim time the condition first held continuously (None = not holding).
+    pending_since: Option<u64>,
+    /// Sim time the alert raised (None = not raised).
+    raised_at: Option<u64>,
+    /// Last observed metric value.
+    last_value: f64,
+}
+
+/// Evaluates a rule set against metric readings on sim-time ticks,
+/// tracking per-rule hold durations and emitting raise/resolve
+/// transitions as [`TraceRecord`]s.
+///
+/// Each rule reads its metric in its own scope ([`AlertRule::machine`]); a
+/// metric that does not exist in that scope simply never fires.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    /// Total raise transitions so far.
+    pub raised_total: u64,
+    /// Total resolve transitions so far.
+    pub resolved_total: u64,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let states = vec![RuleState::default(); rules.len()];
+        AlertEngine {
+            rules,
+            states,
+            raised_total: 0,
+            resolved_total: 0,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule at sim time `now`. `value(scope, metric)`
+    /// supplies readings ([`GLOBAL`] or a machine index); `None` means the
+    /// metric does not exist in that scope. Returns the transition records
+    /// fired by this evaluation, in rule order.
+    pub fn evaluate<F>(&mut self, now: u64, mut value: F) -> Vec<TraceRecord>
+    where
+        F: FnMut(usize, &str) -> Option<f64>,
+    {
+        let mut transitions = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            let Some(v) = value(rule.machine, &rule.metric) else {
+                continue;
+            };
+            state.last_value = v;
+            if rule.op.holds(v, rule.threshold) {
+                let since = *state.pending_since.get_or_insert(now);
+                if state.raised_at.is_none() && now.saturating_sub(since) >= rule.for_secs {
+                    state.raised_at = Some(now);
+                    self.raised_total += 1;
+                    transitions.push(TraceRecord {
+                        time: now,
+                        machine: rule.machine,
+                        event: TraceEvent::AlertRaised {
+                            rule: rule.name.clone(),
+                            machine: rule.machine,
+                            value: v,
+                        },
+                    });
+                }
+            } else {
+                state.pending_since = None;
+                if state.raised_at.take().is_some() {
+                    self.resolved_total += 1;
+                    transitions.push(TraceRecord {
+                        time: now,
+                        machine: rule.machine,
+                        event: TraceEvent::AlertResolved {
+                            rule: rule.name.clone(),
+                            machine: rule.machine,
+                            value: v,
+                        },
+                    });
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Alerts currently raised, in rule declaration order.
+    pub fn active(&self) -> Vec<ActiveAlert> {
+        self.rules
+            .iter()
+            .zip(self.states.iter())
+            .filter_map(|(rule, state)| {
+                state.raised_at.map(|since| ActiveAlert {
+                    rule: rule.name.clone(),
+                    machine: rule.machine,
+                    since,
+                    value: state.last_value,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_syntax() {
+        let r = AlertRule::parse("high-held: held_node_proportion > 0.4 for 10m").unwrap();
+        assert_eq!(r.name, "high-held");
+        assert_eq!(r.metric, "held_node_proportion");
+        assert_eq!(r.machine, GLOBAL);
+        assert_eq!(r.op, AlertOp::Gt);
+        assert_eq!(r.threshold, 0.4);
+        assert_eq!(r.for_secs, 600);
+        assert_eq!(r.condition(), "held_node_proportion > 0.4 for 600s");
+    }
+
+    #[test]
+    fn parses_without_name_or_duration() {
+        let r = AlertRule::parse("queued >= 12").unwrap();
+        assert_eq!(r.name, "queued>=12");
+        assert_eq!(r.op, AlertOp::Ge);
+        assert_eq!(r.for_secs, 0);
+        let r = AlertRule::parse("utilization < 0.1 for 90").unwrap();
+        assert_eq!((r.op, r.for_secs), (AlertOp::Lt, 90));
+        let r = AlertRule::parse("utilization <= 0.1 for 2h").unwrap();
+        assert_eq!((r.op, r.for_secs), (AlertOp::Le, 7_200));
+    }
+
+    #[test]
+    fn parses_machine_scope_prefix() {
+        let r = AlertRule::parse("stuck: machine1.queue_age_secs > 3600 for 5m").unwrap();
+        assert_eq!(r.machine, 1);
+        assert_eq!(r.metric, "queue_age_secs");
+        assert_eq!(r.condition(), "machine1.queue_age_secs > 3600 for 300s");
+        assert!(AlertRule::parse("machinex.queued > 1")
+            .unwrap_err()
+            .contains("bad machine scope"));
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        assert!(AlertRule::parse("no operator here")
+            .unwrap_err()
+            .contains("no comparison operator"));
+        assert!(AlertRule::parse("> 3").unwrap_err().contains("no metric"));
+        assert!(AlertRule::parse("x > banana")
+            .unwrap_err()
+            .contains("bad threshold"));
+        assert!(AlertRule::parse("x > 1 for 10q")
+            .unwrap_err()
+            .contains("bad duration unit"));
+    }
+
+    #[test]
+    fn parse_list_splits_on_semicolons() {
+        let rules = AlertRule::parse_list("a > 1; b < 2 for 5m; ;").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].for_secs, 300);
+        assert!(AlertRule::parse_list("a > 1; nope").is_err());
+    }
+
+    #[test]
+    fn default_rules_parse() {
+        let rules = default_rules();
+        assert!(rules.len() >= 3);
+        assert!(rules.iter().any(|r| r.metric == "held_node_proportion"));
+        assert!(rules.iter().all(|r| r.machine == GLOBAL));
+    }
+
+    #[test]
+    fn engine_raises_after_hold_duration_and_resolves() {
+        let rule = AlertRule::parse("hot: load > 10 for 100").unwrap();
+        let mut engine = AlertEngine::new(vec![rule]);
+        let mut level = 50.0;
+        // t=0: condition holds but hold duration not yet met.
+        assert!(engine.evaluate(0, |_, _| Some(level)).is_empty());
+        assert!(engine.active().is_empty());
+        // t=60: still pending.
+        assert!(engine.evaluate(60, |_, _| Some(level)).is_empty());
+        // t=120: held for 120s >= 100s → raises.
+        let fired = engine.evaluate(120, |_, _| Some(level));
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(
+            &fired[0].event,
+            TraceEvent::AlertRaised { rule, machine, value }
+                if rule == "hot" && *machine == GLOBAL && *value == 50.0
+        ));
+        let active = engine.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].since, 120);
+        assert_eq!(engine.raised_total, 1);
+        // Still raised: no duplicate transition.
+        assert!(engine.evaluate(180, |_, _| Some(level)).is_empty());
+        // Condition clears → resolves.
+        level = 3.0;
+        let fired = engine.evaluate(240, |_, _| Some(level));
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(
+            &fired[0].event,
+            TraceEvent::AlertResolved { rule, .. } if rule == "hot"
+        ));
+        assert!(engine.active().is_empty());
+        assert_eq!(engine.resolved_total, 1);
+    }
+
+    #[test]
+    fn pending_resets_when_condition_dips() {
+        let rule = AlertRule::parse("x > 1 for 100").unwrap();
+        let mut engine = AlertEngine::new(vec![rule]);
+        assert!(engine.evaluate(0, |_, _| Some(5.0)).is_empty());
+        // Dips below threshold at t=50: the continuous hold restarts.
+        assert!(engine.evaluate(50, |_, _| Some(0.0)).is_empty());
+        assert!(engine.evaluate(60, |_, _| Some(5.0)).is_empty());
+        assert!(engine.evaluate(120, |_, _| Some(5.0)).is_empty());
+        // Only at t=160 (held since t=60) does it raise.
+        assert_eq!(engine.evaluate(160, |_, _| Some(5.0)).len(), 1);
+    }
+
+    #[test]
+    fn machine_scoped_rules_fire_independently() {
+        let rules = vec![
+            AlertRule::parse("machine0.queued > 3").unwrap(),
+            AlertRule::parse("machine1.queued > 3").unwrap(),
+        ];
+        let mut engine = AlertEngine::new(rules);
+        let fired = engine.evaluate(10, |scope, _| match scope {
+            0 => Some(10.0),
+            1 => Some(1.0),
+            _ => None,
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].machine, 0);
+        let active = engine.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].machine, 0);
+    }
+
+    #[test]
+    fn missing_metric_never_fires() {
+        let mut engine = AlertEngine::new(vec![AlertRule::parse("ghost > 0").unwrap()]);
+        assert!(engine.evaluate(10, |_, _| None).is_empty());
+        assert!(engine.active().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_rule_fires_immediately() {
+        let mut engine = AlertEngine::new(vec![AlertRule::parse("x > 0").unwrap()]);
+        assert_eq!(engine.evaluate(7, |_, _| Some(1.0)).len(), 1);
+    }
+}

@@ -25,13 +25,17 @@
 //! plain `u64` sim-seconds), so every layer can depend on it without
 //! cycles.
 
+pub mod alert;
 pub mod metrics;
+pub mod monitor;
 pub mod observe;
 pub mod profile;
 pub mod reader;
 pub mod trace;
 
+pub use alert::{default_rules, ActiveAlert, AlertEngine, AlertOp, AlertRule};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use monitor::{MachineTelemetry, StreamingMonitor, TelemetrySnapshot};
 pub use observe::{
     JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver, TeeObserver, VecSink,
 };

@@ -300,4 +300,121 @@ mod tests {
         assert_eq!(tee.first.sink().records.len(), 1);
         assert_eq!(tee.second.sink().total(), 1);
     }
+
+    #[test]
+    fn ring_sink_wraps_many_times_and_keeps_totals_exact() {
+        // A long run through a small ring: `total()` keeps the true event
+        // count while `len()` stays pinned at capacity, and the retained
+        // window is exactly the trailing `capacity` records in order.
+        let mut sink = RingSink::new(3);
+        let n = 1_000u64;
+        for seq in 0..n {
+            sink.accept(&TraceRecord {
+                time: seq,
+                machine: (seq % 2) as usize,
+                event: sample(seq),
+            });
+        }
+        assert_eq!(sink.total(), n);
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        let times: Vec<u64> = sink.records().map(|r| r.time).collect();
+        assert_eq!(times, vec![n - 3, n - 2, n - 1]);
+    }
+
+    #[test]
+    fn ring_sink_below_capacity_keeps_everything() {
+        let mut sink = RingSink::new(10);
+        for seq in 0..4 {
+            sink.accept(&TraceRecord {
+                time: seq,
+                machine: 0,
+                event: sample(seq),
+            });
+        }
+        assert_eq!(sink.total(), 4);
+        assert_eq!(sink.len(), 4);
+        let times: Vec<u64> = sink.records().map(|r| r.time).collect();
+        assert_eq!(times, vec![0, 1, 2, 3]);
+    }
+
+    /// An observer that logs every call so tee ordering is directly
+    /// inspectable.
+    #[derive(Default)]
+    struct LogObserver {
+        tag: &'static str,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(&'static str, u64)>>>,
+        active: bool,
+    }
+
+    impl Observer for LogObserver {
+        fn active(&self) -> bool {
+            self.active
+        }
+
+        fn record(&mut self, time: u64, _machine: usize, _event: TraceEvent) {
+            self.log.borrow_mut().push((self.tag, time));
+        }
+    }
+
+    #[test]
+    fn tee_delivers_first_then_second_per_event() {
+        // Delivery order is a guarantee, not an accident: the primary sink
+        // (`first`) sees each event before any secondary consumer, so a
+        // teed monitor can never observe state the trace has not recorded.
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut tee = TeeObserver::new(
+            LogObserver {
+                tag: "first",
+                log: std::rc::Rc::clone(&log),
+                active: true,
+            },
+            LogObserver {
+                tag: "second",
+                log: std::rc::Rc::clone(&log),
+                active: true,
+            },
+        );
+        for t in 0..4 {
+            tee.record(t, 0, sample(t));
+        }
+        let calls = log.borrow().clone();
+        assert_eq!(
+            calls,
+            vec![
+                ("first", 0),
+                ("second", 0),
+                ("first", 1),
+                ("second", 1),
+                ("first", 2),
+                ("second", 2),
+                ("first", 3),
+                ("second", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn tee_skips_inactive_halves() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut tee = TeeObserver::new(
+            LogObserver {
+                tag: "first",
+                log: std::rc::Rc::clone(&log),
+                active: false,
+            },
+            LogObserver {
+                tag: "second",
+                log: std::rc::Rc::clone(&log),
+                active: true,
+            },
+        );
+        assert!(tee.active(), "one active half keeps the tee active");
+        tee.record(7, 1, sample(7));
+        assert_eq!(log.borrow().clone(), vec![("second", 7)]);
+
+        let mut dead = TeeObserver::new(NoopObserver, NoopObserver);
+        assert!(!dead.active());
+        dead.emit_with(1, 0, || panic!("inactive tee must not construct events"));
+    }
 }

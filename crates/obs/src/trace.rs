@@ -111,6 +111,26 @@ pub enum TraceEvent {
     /// A frame was decoded off the wire (`bytes` includes the header).
     FrameDecoded { bytes: u64 },
 
+    // ----- alerting ---------------------------------------------------------
+    /// An alert rule's condition held past its `for` duration. `machine` is
+    /// the scope the rule fired in ([`GLOBAL`] for run-wide metrics);
+    /// `value` is the offending metric reading at raise time. Alert events
+    /// are produced by the *online* telemetry plane (the streaming
+    /// monitor's rule engine) and kept in its own history — they are never
+    /// injected into a primary trace stream, so teeing a monitor onto a
+    /// JSONL sink cannot perturb the deterministic trace.
+    AlertRaised {
+        rule: String,
+        machine: usize,
+        value: f64,
+    },
+    /// A previously raised alert's condition returned within bounds.
+    AlertResolved {
+        rule: String,
+        machine: usize,
+        value: f64,
+    },
+
     // ----- causal spans ----------------------------------------------------
     /// A causal span opened. Span ids are assigned deterministically (dense,
     /// starting at 1) so same-seed runs produce byte-identical span records.
@@ -224,6 +244,8 @@ impl TraceEvent {
             TraceEvent::RpcTimeout { .. } => "rpc-timeout",
             TraceEvent::FrameEncoded { .. } => "frame-encoded",
             TraceEvent::FrameDecoded { .. } => "frame-decoded",
+            TraceEvent::AlertRaised { .. } => "alert-raised",
+            TraceEvent::AlertResolved { .. } => "alert-resolved",
             TraceEvent::SpanOpen { .. } => "span-open",
             TraceEvent::SpanClose { .. } => "span-close",
         }
@@ -233,7 +255,7 @@ impl TraceEvent {
     /// [`TraceEvent::variant_index`] (whose `match` is exhaustive, so adding
     /// a variant without updating both is a compile error), and asserted
     /// against [`TraceEvent::samples`] coverage in tests.
-    pub const VARIANT_COUNT: usize = 24;
+    pub const VARIANT_COUNT: usize = 26;
 
     /// Dense index of this variant in declaration order. The exhaustive
     /// `match` is the enforcement mechanism: a new variant fails to compile
@@ -263,8 +285,10 @@ impl TraceEvent {
             TraceEvent::RpcTimeout { .. } => 19,
             TraceEvent::FrameEncoded { .. } => 20,
             TraceEvent::FrameDecoded { .. } => 21,
-            TraceEvent::SpanOpen { .. } => 22,
-            TraceEvent::SpanClose { .. } => 23,
+            TraceEvent::AlertRaised { .. } => 22,
+            TraceEvent::AlertResolved { .. } => 23,
+            TraceEvent::SpanOpen { .. } => 24,
+            TraceEvent::SpanClose { .. } => 25,
         }
     }
 
@@ -336,6 +360,16 @@ impl TraceEvent {
             },
             TraceEvent::FrameEncoded { bytes: 96 },
             TraceEvent::FrameDecoded { bytes: 96 },
+            TraceEvent::AlertRaised {
+                rule: "held_node_proportion>0.4".to_string(),
+                machine: GLOBAL,
+                value: 0.62,
+            },
+            TraceEvent::AlertResolved {
+                rule: "held_node_proportion>0.4".to_string(),
+                machine: GLOBAL,
+                value: 0.1,
+            },
             TraceEvent::SpanOpen {
                 span: 14,
                 parent: 2,

@@ -1,0 +1,85 @@
+//! Tiny blocking HTTP GET client — just enough to poll the telemetry
+//! endpoints from `cosched watch`, CI smoke checks, and tests without any
+//! external dependency.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Fetch `http://{addr}{path}` and return `(status_code, body)`.
+///
+/// `addr` is a `host:port` pair (no scheme). The connection uses
+/// `Connection: close`, so the body is everything after the header block.
+///
+/// # Errors
+/// A human-readable message on connect/read failures or malformed
+/// responses.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let socket_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address {addr:?} resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    parse_response(&response)
+}
+
+/// Split a raw HTTP/1.x response into status code and body.
+fn parse_response(response: &str) -> Result<(u16, String), String> {
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+        .ok_or_else(|| "response has no header/body separator".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    Ok((code, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello\nworld";
+        let (code, body) = parse_response(raw).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "hello\nworld");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("BAD x\r\n\r\nbody").is_err());
+    }
+
+    #[test]
+    fn connect_to_dead_port_errors() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = http_get(&addr, "/metrics", Duration::from_millis(200)).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Live telemetry plane: serve a running simulation's streaming-monitor
+//! state over HTTP and render it for terminals.
+//!
+//! Three pieces:
+//!
+//! * [`server`] — a minimal blocking HTTP/1.1 server (std `TcpListener`,
+//!   no external deps) answering `GET /metrics` (Prometheus 0.0.4 text),
+//!   `GET /healthz` (liveness + drained/deadlocked), and `GET /state`
+//!   (JSON [`TelemetrySnapshot`]). Anything implementing
+//!   [`TelemetryProvider`] can be served; [`MonitorProvider`] adapts a
+//!   [`StreamingMonitor`].
+//! * [`client`] — a tiny HTTP GET client for the `cosched watch` command,
+//!   CI smoke checks, and tests; same zero-dependency constraint.
+//! * [`dashboard`] — renders a [`TelemetrySnapshot`] into a refreshing
+//!   terminal dashboard (utilization bars, queue/held tables, active
+//!   alerts, rendezvous latency).
+//!
+//! The plane is strictly read-only with respect to the simulation: the
+//! server thread only ever *reads* snapshots from the shared monitor, so
+//! attaching `--telemetry` cannot perturb a deterministic run.
+
+pub mod client;
+pub mod dashboard;
+pub mod server;
+
+pub use client::http_get;
+pub use dashboard::render_dashboard;
+pub use server::{Health, MonitorProvider, TelemetryProvider, TelemetryServer};
+
+pub use cosched_obs::monitor::{StreamingMonitor, TelemetrySnapshot};

@@ -47,6 +47,10 @@ pub use critical::{ComboAggregate, CriticalPathReport, PairPath, Segment, Segmen
 pub use diff::{DiffReport, JobDelta};
 pub use lifecycle::{JobLifecycle, LifecycleError, LifecycleSet, Rendezvous};
 pub use perfetto::render_perfetto;
-pub use prom::{render_prometheus, render_transport_prometheus, sanitize_name};
+pub use prom::{
+    escape_label_value, render_prometheus, render_prometheus_into, render_telemetry_prometheus,
+    render_telemetry_prometheus_into, render_transport_prometheus,
+    render_transport_prometheus_into, sanitize_name, PromWriter,
+};
 pub use render::{render_gantt, render_utilization};
 pub use span_tree::{SpanNode, SpanTree, SpanTreeError};

@@ -21,7 +21,10 @@
 //! * [`trace`] — trace analysis: job-lifecycle reconstruction from JSONL
 //!   event streams, wait-time attribution (local queueing vs.
 //!   coscheduling), trace diffing, Prometheus text exposition, and ASCII
-//!   timeline rendering.
+//!   timeline rendering,
+//! * [`telemetry`] — the live telemetry plane: an embedded HTTP server for
+//!   `/metrics`, `/healthz`, and `/state` over a streaming monitor, a tiny
+//!   polling client, and the `cosched watch` terminal dashboard renderer.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
@@ -32,6 +35,7 @@ pub use cosched_proto as proto;
 pub use cosched_resv as resv;
 pub use cosched_sched as sched;
 pub use cosched_sim as sim;
+pub use cosched_telemetry as telemetry;
 pub use cosched_trace as trace;
 pub use cosched_workload as workload;
 
@@ -41,12 +45,13 @@ pub mod prelude {
     pub use cosched_core::driver::{CoupledSimulation, RunArtifacts, RunStats, SimulationReport};
     pub use cosched_metrics::summary::MachineSummary;
     pub use cosched_obs::{
-        JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver, TraceEvent, TraceRecord,
-        VecSink,
+        default_rules, AlertRule, JsonlSink, NoopObserver, Observer, RingSink, Sink, SinkObserver,
+        StreamingMonitor, TeeObserver, TelemetrySnapshot, TraceEvent, TraceRecord, VecSink,
     };
     pub use cosched_sched::machine::MachineConfig;
     pub use cosched_sched::policy::PolicyKind;
     pub use cosched_sim::{SimDuration, SimTime};
+    pub use cosched_telemetry::{MonitorProvider, TelemetryServer};
     pub use cosched_trace::{
         AttributionReport, CriticalPathReport, DiffReport, LifecycleSet, SpanTree,
     };
